@@ -1,0 +1,68 @@
+package bistream_test
+
+import (
+	"testing"
+	"time"
+
+	"bistream"
+)
+
+// TestPublicAPIQuickstart exercises the README's minimal session
+// through the exported surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng, err := bistream.New(bistream.Config{
+		Predicate:           bistream.Equi(0, 0),
+		Window:              time.Minute,
+		RJoiners:            2,
+		SJoiners:            2,
+		PunctuationInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	if err := eng.Ingest(bistream.NewTuple(bistream.R, 0, 1000, bistream.Int(7), bistream.String("left"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(bistream.NewTuple(bistream.S, 0, 1500, bistream.Int(7), bistream.String("right"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case jr := <-eng.Results():
+		if jr.Left.Value(1).AsString() != "left" || jr.Right.Value(1).AsString() != "right" {
+			t.Errorf("result = %v", jr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no join result")
+	}
+	if err := eng.ScaleJoiners(bistream.S, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.NumJoiners(bistream.S); got != 3 {
+		t.Errorf("NumJoiners = %d", got)
+	}
+}
+
+func TestPublicPredicates(t *testing.T) {
+	r := bistream.NewTuple(bistream.R, 1, 0, bistream.Int(5), bistream.Float(1.5))
+	s := bistream.NewTuple(bistream.S, 2, 0, bistream.Int(7), bistream.Float(2.0))
+	if bistream.Equi(0, 0).Match(r, s) {
+		t.Error("5 = 7 matched")
+	}
+	if !bistream.Band(1, 1, 0.5).Match(r, s) {
+		t.Error("|1.5-2.0| <= 0.5 did not match")
+	}
+	if !bistream.Theta(0, 0, bistream.LT).Match(r, s) {
+		t.Error("5 < 7 did not match")
+	}
+	custom := bistream.Func("sum > 10", func(r, s *bistream.Tuple) bool {
+		return r.Value(0).AsInt()+s.Value(0).AsInt() > 10
+	})
+	if !custom.Match(r, s) {
+		t.Error("5+7 > 10 did not match")
+	}
+}

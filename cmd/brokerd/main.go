@@ -1,0 +1,48 @@
+// Command brokerd runs the message broker as a standalone TCP server,
+// the role RabbitMQ plays in the original deployment. Router and joiner
+// services (cmd/routerd, cmd/joinerd) and the stream source
+// (cmd/streamgen) connect to it over the wire protocol; the management
+// API (the 15672 GUI of the text's Figure 18) is served over HTTP.
+//
+// Usage:
+//
+//	brokerd [-addr :5672] [-mgmt :15672] [-data /var/lib/brokerd]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"bistream/internal/broker"
+	"bistream/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":5672", "wire protocol listen address")
+	mgmt := flag.String("mgmt", ":15672", "management HTTP address (empty to disable)")
+	data := flag.String("data", "", "journal directory for durable queues (empty = in-memory only)")
+	flag.Parse()
+	log.SetPrefix("brokerd: ")
+	var b *broker.Broker
+	if *data != "" {
+		var err error
+		if b, err = broker.NewDurable(nil, *data); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable queues journaled under %s", *data)
+	} else {
+		b = broker.New(nil)
+	}
+	if *mgmt != "" {
+		go func() {
+			log.Printf("management API on %s", *mgmt)
+			if err := http.ListenAndServe(*mgmt, broker.NewMgmtHandler(b)); err != nil {
+				log.Printf("management API: %v", err)
+			}
+		}()
+	}
+	if err := wire.ListenAndServe(*addr, b); err != nil {
+		log.Fatal(err)
+	}
+}

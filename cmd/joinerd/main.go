@@ -1,0 +1,105 @@
+// Command joinerd runs one joiner service against a remote brokerd: it
+// stores its partition of one relation in a chained in-memory index
+// over the sliding window, join-processes the opposite relation's
+// tuples, and publishes results to the result exchange.
+//
+// Usage:
+//
+//	joinerd -broker localhost:5672 -relation R -id 0 \
+//	        -predicate 'equi(0,0)' -window 10m -routers 0,1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"bistream/internal/joiner"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+	"bistream/internal/wire"
+)
+
+func main() {
+	var (
+		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
+		relFlag    = flag.String("relation", "R", "relation this joiner stores: R or S")
+		id         = flag.Int("id", 0, "member id within the relation's group")
+		predSpec   = flag.String("predicate", "equi(0,0)", "join predicate")
+		winSpan    = flag.Duration("window", 10*time.Minute, "sliding window span")
+		archive    = flag.Duration("archive", 0, "chained index archive period (0 = window/16)")
+		routers    = flag.String("routers", "0", "comma-separated router ids to register")
+		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging period (0 = off)")
+	)
+	flag.Parse()
+	log.SetPrefix("joinerd: ")
+
+	var rel tuple.Relation
+	switch strings.ToUpper(*relFlag) {
+	case "R":
+		rel = tuple.R
+	case "S":
+		rel = tuple.S
+	default:
+		log.Fatalf("bad -relation %q (want R or S)", *relFlag)
+	}
+	pred, err := predicate.Parse(*predSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := wire.Dial(*brokerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	core, err := joiner.NewCore(joiner.Config{
+		ID:            int32(*id),
+		Rel:           rel,
+		Pred:          pred,
+		Window:        window.Sliding{Span: *winSpan},
+		ArchivePeriod: *archive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := joiner.NewService(core, client)
+	for _, part := range strings.Split(*routers, ",") {
+		rid, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad -routers %q: %v", *routers, err)
+		}
+		svc.AddRouter(int32(rid))
+	}
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("joiner %s/%d up: %v window, predicate %v", rel, *id, *winSpan, pred)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st := svc.Stats()
+				log.Printf("window=%d tuples (%.1f MiB, %d sub-indexes) stored=%d probed=%d results=%d expired=%d pending=%d",
+					st.WindowLen, float64(st.MemBytes)/(1<<20), st.SubIndexes,
+					st.Stored, st.Probed, st.Results, st.Expired, st.Pending)
+			case <-stop:
+				log.Print("stopping")
+				svc.Stop()
+				return
+			}
+		}
+	}
+	<-stop
+	svc.Stop()
+}

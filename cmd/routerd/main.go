@@ -1,0 +1,102 @@
+// Command routerd runs one router service against a remote brokerd: it
+// competes with sibling routers for raw tuples on the entry queue and
+// fans them out to the joiner groups.
+//
+// The joiner-group layout is static per process invocation (ids
+// 0..n-1); redeploy with new flags to change it, as a container
+// orchestrator would.
+//
+// Usage:
+//
+//	routerd -broker localhost:5672 -id 0 \
+//	        -predicate 'equi(0,0)' -window 10m \
+//	        -r-joiners 2 -s-joiners 2 [-r-subgroups 2 -s-subgroups 2]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"bistream/internal/predicate"
+	"bistream/internal/router"
+	"bistream/internal/tuple"
+	"bistream/internal/vclock"
+	"bistream/internal/window"
+	"bistream/internal/wire"
+)
+
+func main() {
+	var (
+		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
+		id         = flag.Int("id", 0, "router id (unique per instance)")
+		predSpec   = flag.String("predicate", "equi(0,0)", "join predicate: equi(i,j), band(i,j,w), theta(i,op,j)")
+		winSpan    = flag.Duration("window", 10*time.Minute, "sliding window span")
+		rJoiners   = flag.Int("r-joiners", 1, "R joiner group size (ids 0..n-1)")
+		sJoiners   = flag.Int("s-joiners", 1, "S joiner group size (ids 0..n-1)")
+		rSub       = flag.Int("r-subgroups", 0, "R subgroups (0 = auto: hash if partitionable)")
+		sSub       = flag.Int("s-subgroups", 0, "S subgroups (0 = auto)")
+		punct      = flag.Duration("punctuation", 20*time.Millisecond, "punctuation interval")
+	)
+	flag.Parse()
+	log.SetPrefix("routerd: ")
+
+	pred, err := predicate.Parse(*predSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := wire.Dial(*brokerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	core, err := router.NewCore(router.Config{
+		ID:     int32(*id),
+		Pred:   pred,
+		Window: window.Sliding{Span: *winSpan},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nowTS := time.Now().UnixMilli()
+	if err := core.SetLayout(tuple.R, memberIDs(*rJoiners), autoSub(*rSub, *rJoiners, pred), nowTS); err != nil {
+		log.Fatal(err)
+	}
+	if err := core.SetLayout(tuple.S, memberIDs(*sJoiners), autoSub(*sSub, *sJoiners, pred), nowTS); err != nil {
+		log.Fatal(err)
+	}
+	svc := router.NewService(core, client, vclock.Real{}, router.ServiceConfig{
+		PunctuationInterval: *punct,
+	})
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("router %d up: %v window, R=%d S=%d joiners", *id, *winSpan, *rJoiners, *sJoiners)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("retiring")
+	svc.Retire()
+}
+
+func memberIDs(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+func autoSub(sub, n int, pred predicate.Predicate) int {
+	if sub > 0 {
+		return sub
+	}
+	if pred.Partitionable() {
+		return n
+	}
+	return 1
+}

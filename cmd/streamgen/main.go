@@ -1,0 +1,83 @@
+// Command streamgen is the stream-source adapter: it publishes
+// synthetic two-relation tuple streams into the entry exchange of a
+// remote brokerd at a configurable rate and key distribution.
+//
+// Usage:
+//
+//	streamgen -broker localhost:5672 -rate 300 -duration 60s \
+//	          -keys 100000 [-zipf 1.4] [-payload 64] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+	"bistream/internal/wire"
+	"bistream/internal/workload"
+)
+
+func main() {
+	var (
+		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
+		rate       = flag.Float64("rate", 300, "combined tuples/second over both relations")
+		duration   = flag.Duration("duration", time.Minute, "how long to generate")
+		keys       = flag.Int64("keys", 100_000, "join-attribute domain size")
+		zipf       = flag.Float64("zipf", 0, "zipf skew exponent (>1 enables skew; 0 = uniform)")
+		payload    = flag.Int("payload", 64, "opaque payload bytes per tuple")
+		seed       = flag.Int64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+	log.SetPrefix("streamgen: ")
+
+	var keyDist workload.KeyDist = workload.Uniform{N: *keys}
+	if *zipf > 1 {
+		z, err := workload.NewZipf(rand.New(rand.NewSource(*seed)), *keys, *zipf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keyDist = z
+	}
+	gen, err := workload.New(workload.Config{
+		Profile:      workload.RateProfile{{From: 0, TuplesPerSec: *rate}},
+		Keys:         keyDist,
+		PayloadBytes: *payload,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := wire.Dial(*brokerAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	// The entry topology may not exist yet if no router has started;
+	// declare it so early tuples queue up instead of vanishing.
+	if err := client.DeclareExchange(topo.EntryExchange, broker.Topic); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("generating %v at %.0f tuples/s, keys=%s", *duration, *rate, keyDist)
+	start := time.Now()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	var sent uint64
+	gen.Tick(start)
+	for now := range ticker.C {
+		for _, t := range gen.Tick(now) {
+			if err := client.Publish(topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t)); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+		}
+		if now.Sub(start) >= *duration {
+			break
+		}
+	}
+	log.Printf("done: %d tuples in %v", sent, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module bistream
+
+go 1.22

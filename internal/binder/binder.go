@@ -1,0 +1,168 @@
+// Package binder reproduces the Spring Cloud Stream programming model
+// of §4.2-4.3: applications describe named input and output *channels*;
+// the binder maps them onto broker destinations with the exact
+// conventions of the RabbitMQ binder (Figure 12):
+//
+//   - every destination is a topic exchange;
+//   - a *grouped* input binds a shared queue named
+//     "<destination>.<group>" — members of the group compete for
+//     messages (the queuing model, Figure 10), and the subscription is
+//     durable: the queue keeps accumulating while every member is down;
+//   - an *anonymous* input (no group) binds an auto-delete queue named
+//     "<destination>.anonymous.<n>" in a publish-subscribe relationship
+//     with all other consumers;
+//   - a *partitioned* destination suffixes queues with the partition
+//     index and routes on it ("<destination>-<i>", Figure 11), so items
+//     with the same partition key always reach the same consumer
+//     instance.
+//
+// The engine's services wire their topology directly (internal/topo);
+// this package exists as the faithful, reusable form of the abstraction
+// the thesis builds on, and is exercised by its own tests and the
+// examples' patterns.
+package binder
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bistream/internal/broker"
+)
+
+// Binder creates channels over one broker connection.
+type Binder struct {
+	client broker.Client
+	anonID int
+}
+
+// New wraps a broker client.
+func New(client broker.Client) *Binder {
+	return &Binder{client: client}
+}
+
+// OutputOptions configures an output channel.
+type OutputOptions struct {
+	// PartitionCount > 1 makes the destination partitioned: every sent
+	// message must carry a partition key, hashed to a partition index
+	// used as the routing key.
+	PartitionCount int
+}
+
+// Output is a named producer channel.
+type Output struct {
+	binder      *Binder
+	destination string
+	partitions  int
+}
+
+// Output declares a producer channel bound to the destination exchange.
+func (b *Binder) Output(destination string, opts OutputOptions) (*Output, error) {
+	if destination == "" {
+		return nil, fmt.Errorf("binder: empty destination")
+	}
+	if err := b.client.DeclareExchange(destination, broker.Topic); err != nil {
+		return nil, err
+	}
+	p := opts.PartitionCount
+	if p < 1 {
+		p = 1
+	}
+	return &Output{binder: b, destination: destination, partitions: p}, nil
+}
+
+// Send publishes a message. For partitioned destinations, partitionKey
+// selects the partition (same key → same partition → same consumer
+// instance, Figure 11); it is ignored otherwise.
+func (o *Output) Send(partitionKey string, headers map[string]string, body []byte) error {
+	key := "t"
+	if o.partitions > 1 {
+		key = partitionRoutingKey(partitionOf(partitionKey, o.partitions))
+	}
+	return o.binder.client.Publish(o.destination, key, headers, body)
+}
+
+// partitionOf hashes a key onto [0, count).
+func partitionOf(key string, count int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(count))
+}
+
+func partitionRoutingKey(idx int) string { return fmt.Sprintf("p.%d", idx) }
+
+// InputOptions configures an input channel.
+type InputOptions struct {
+	// Group names the consumer group. Empty means an anonymous,
+	// auto-delete, publish-subscribe subscription (Figure 10's
+	// ungrouped consumers).
+	Group string
+	// Partition, with PartitionCount, subscribes this instance to
+	// exactly one partition of a partitioned destination.
+	Partition      int
+	PartitionCount int
+	// Prefetch bounds in-flight deliveries (default 64).
+	Prefetch int
+}
+
+// Input is a named consumer channel.
+type Input struct {
+	Queue    string
+	consumer broker.Consumer
+}
+
+// Input declares a consumer channel on the destination exchange with
+// the RabbitMQ binder's queue-naming conventions.
+func (b *Binder) Input(destination string, opts InputOptions) (*Input, error) {
+	if destination == "" {
+		return nil, fmt.Errorf("binder: empty destination")
+	}
+	if err := b.client.DeclareExchange(destination, broker.Topic); err != nil {
+		return nil, err
+	}
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = 64
+	}
+	partitioned := opts.PartitionCount > 1
+	if partitioned && (opts.Partition < 0 || opts.Partition >= opts.PartitionCount) {
+		return nil, fmt.Errorf("binder: partition %d out of range [0,%d)", opts.Partition, opts.PartitionCount)
+	}
+
+	var queue, bindKey string
+	var qopts broker.QueueOptions
+	switch {
+	case opts.Group == "":
+		// Anonymous auto-delete queue, pub-sub with everyone.
+		b.anonID++
+		queue = fmt.Sprintf("%s.anonymous.%d", destination, b.anonID)
+		bindKey = "#"
+		qopts = broker.QueueOptions{AutoDelete: true}
+	case partitioned:
+		// Partition-suffixed durable group queue; the partition index
+		// is the routing key.
+		queue = fmt.Sprintf("%s.%s-%d", destination, opts.Group, opts.Partition)
+		bindKey = partitionRoutingKey(opts.Partition)
+		qopts = broker.QueueOptions{Durable: true}
+	default:
+		// Durable group queue: competing consumers.
+		queue = fmt.Sprintf("%s.%s", destination, opts.Group)
+		bindKey = "#"
+		qopts = broker.QueueOptions{Durable: true}
+	}
+	if err := b.client.DeclareQueue(queue, qopts); err != nil {
+		return nil, err
+	}
+	if err := b.client.Bind(queue, destination, bindKey); err != nil {
+		return nil, err
+	}
+	cons, err := b.client.Consume(queue, opts.Prefetch, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Input{Queue: queue, consumer: cons}, nil
+}
+
+// Deliveries returns the channel of incoming messages.
+func (in *Input) Deliveries() <-chan broker.Delivery { return in.consumer.Deliveries() }
+
+// Close cancels the subscription (auto-delete queues disappear).
+func (in *Input) Close() error { return in.consumer.Cancel() }

@@ -1,0 +1,217 @@
+package binder
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bistream/internal/broker"
+)
+
+func newBinder(t *testing.T) (*broker.Broker, *Binder) {
+	t.Helper()
+	b := broker.New(nil)
+	t.Cleanup(func() { b.Close() })
+	return b, New(b)
+}
+
+func recv(t *testing.T, in *Input, timeout time.Duration) (broker.Delivery, bool) {
+	t.Helper()
+	select {
+	case d, ok := <-in.Deliveries():
+		return d, ok
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for delivery")
+		return broker.Delivery{}, false
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, bd := newBinder(t)
+	if _, err := bd.Output("", OutputOptions{}); err == nil {
+		t.Error("empty output destination accepted")
+	}
+	if _, err := bd.Input("", InputOptions{}); err == nil {
+		t.Error("empty input destination accepted")
+	}
+	if _, err := bd.Input("d", InputOptions{Group: "g", Partition: 5, PartitionCount: 4}); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+func TestGroupQueueNaming(t *testing.T) {
+	// The thesis's Figure 18 queue names fall out of the conventions:
+	// "Rstore.exchange.Rstoregroup" is destination "Rstore.exchange"
+	// with group "Rstoregroup".
+	_, bd := newBinder(t)
+	in, err := bd.Input("Rstore.exchange", InputOptions{Group: "Rstoregroup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Queue != "Rstore.exchange.Rstoregroup" {
+		t.Errorf("queue = %q", in.Queue)
+	}
+	anon, err := bd.Input("Rjoin.exchange", InputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(anon.Queue, "Rjoin.exchange.anonymous.") {
+		t.Errorf("anonymous queue = %q", anon.Queue)
+	}
+}
+
+func TestQueuingModelWithinGroup(t *testing.T) {
+	// Figure 10: members of one group compete; each message reaches
+	// exactly one member.
+	_, bd := newBinder(t)
+	out, err := bd.Output("dest", OutputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1, _ := bd.Input("dest", InputOptions{Group: "g"})
+	in2, _ := bd.Input("dest", InputOptions{Group: "g"})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := out.Send("", nil, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]int{}
+	deadline := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case d := <-in1.Deliveries():
+			got[string(d.Body)]++
+		case d := <-in2.Deliveries():
+			got[string(d.Body)]++
+		case <-deadline:
+			t.Fatalf("received %d/%d", len(got), n)
+		}
+	}
+	for k, c := range got {
+		if c != 1 {
+			t.Errorf("message %s delivered %d times within the group", k, c)
+		}
+	}
+}
+
+func TestPubSubAcrossGroups(t *testing.T) {
+	// Figure 10: every group (and every anonymous consumer) receives a
+	// copy of each message.
+	_, bd := newBinder(t)
+	out, _ := bd.Output("dest", OutputOptions{})
+	gA, _ := bd.Input("dest", InputOptions{Group: "a"})
+	gB, _ := bd.Input("dest", InputOptions{Group: "b"})
+	anon, _ := bd.Input("dest", InputOptions{})
+	if err := out.Send("", map[string]string{"h": "v"}, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range map[string]*Input{"groupA": gA, "groupB": gB, "anon": anon} {
+		d, ok := recv(t, in, 2*time.Second)
+		if !ok || string(d.Body) != "m" || d.Headers["h"] != "v" {
+			t.Errorf("%s: delivery = %+v", name, d)
+		}
+	}
+}
+
+func TestDurableGroupSubscription(t *testing.T) {
+	// §4.2 durability: the group queue accumulates while every member
+	// of the group is stopped.
+	_, bd := newBinder(t)
+	out, _ := bd.Output("dest", OutputOptions{})
+	in, _ := bd.Input("dest", InputOptions{Group: "g"})
+	if err := in.Close(); err != nil { // all members stop
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		out.Send("", nil, []byte{byte(i)})
+	}
+	in2, err := bd.Input("dest", InputOptions{Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d, _ := recv(t, in2, 2*time.Second)
+		if d.Body[0] != byte(i) {
+			t.Fatalf("delivery %d = %d", i, d.Body[0])
+		}
+	}
+}
+
+func TestAnonymousQueueIsNotDurable(t *testing.T) {
+	b, bd := newBinder(t)
+	out, _ := bd.Output("dest", OutputOptions{})
+	anon, _ := bd.Input("dest", InputOptions{})
+	queue := anon.Queue
+	anon.Close()
+	// Auto-delete: the queue is gone, messages published now go nowhere
+	// for this subscriber.
+	if _, err := b.QueueStats(queue); err == nil {
+		t.Error("anonymous queue survived Close")
+	}
+	if err := out.Send("", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedProcessing(t *testing.T) {
+	// Figure 11: items with the same partition key are processed by the
+	// same consumer instance.
+	_, bd := newBinder(t)
+	const parts = 3
+	out, err := bd.Output("dest", OutputOptions{PartitionCount: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]*Input, parts)
+	for i := range ins {
+		in, err := bd.Input("dest", InputOptions{Group: "g", Partition: i, PartitionCount: parts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Queue != fmt.Sprintf("dest.g-%d", i) {
+			t.Fatalf("partition queue = %q", in.Queue)
+		}
+		ins[i] = in
+	}
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	const repeats = 20
+	for r := 0; r < repeats; r++ {
+		for _, k := range keys {
+			if err := out.Send(k, map[string]string{"key": k}, []byte(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Each key's messages all land on one instance.
+	seenAt := map[string]int{}
+	received := 0
+	deadline := time.After(5 * time.Second)
+	for received < len(keys)*repeats {
+		for i, in := range ins {
+			select {
+			case d := <-in.Deliveries():
+				k := string(d.Body)
+				if prev, ok := seenAt[k]; ok && prev != i {
+					t.Fatalf("key %s seen at instances %d and %d", k, prev, i)
+				}
+				seenAt[k] = i
+				received++
+			case <-deadline:
+				t.Fatalf("received %d/%d", received, len(keys)*repeats)
+			default:
+			}
+		}
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	for _, key := range []string{"", "a", "hello", "世界"} {
+		p1 := partitionOf(key, 7)
+		p2 := partitionOf(key, 7)
+		if p1 != p2 || p1 < 0 || p1 >= 7 {
+			t.Errorf("partitionOf(%q) unstable or out of range: %d, %d", key, p1, p2)
+		}
+	}
+}

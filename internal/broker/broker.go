@@ -1,0 +1,530 @@
+// Package broker implements the AMQ messaging model the system's
+// services communicate through: named exchanges (direct, topic, fanout),
+// message queues, bindings with routing-key patterns, competing
+// consumers with acknowledgements and redelivery, and per-queue
+// statistics.
+//
+// It is the in-process substitute for the RabbitMQ broker of the
+// original deployment. The properties the join engine relies on are
+// preserved by construction:
+//
+//   - a queue delivers messages to each of its consumers in FIFO order
+//     (pairwise FIFO, Definition 8 of the source text);
+//   - a queue with several consumers in the same group load-balances
+//     messages between them (the "queuing" model);
+//   - several queues bound to one exchange each receive every matching
+//     message (the "publish-subscribe" model).
+//
+// The sibling package internal/wire exposes the same broker over TCP so
+// the router and joiner services can run as separate OS processes.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bistream/internal/vclock"
+)
+
+// ExchangeKind selects the routing discipline of an exchange.
+type ExchangeKind uint8
+
+// Exchange kinds of the AMQ model.
+const (
+	Direct ExchangeKind = iota // routing key compared for equality
+	Topic                      // dot-separated pattern with * and # wildcards
+	Fanout                     // every bound queue receives every message
+)
+
+// String names the kind as RabbitMQ does.
+func (k ExchangeKind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Topic:
+		return "topic"
+	case Fanout:
+		return "fanout"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors reported by broker operations.
+var (
+	ErrClosed          = errors.New("broker: closed")
+	ErrNoExchange      = errors.New("broker: no such exchange")
+	ErrNoQueue         = errors.New("broker: no such queue")
+	ErrExchangeExists  = errors.New("broker: exchange exists with different kind")
+	ErrQueueExists     = errors.New("broker: queue exists with different options")
+	ErrConsumerClosed  = errors.New("broker: consumer cancelled")
+	ErrUnknownDelivery = errors.New("broker: unknown delivery tag")
+)
+
+// Message is the unit of communication.
+type Message struct {
+	Exchange   string
+	RoutingKey string
+	Headers    map[string]string
+	Body       []byte
+	Timestamp  time.Time
+
+	// journalID identifies the message in a durable queue's journal;
+	// zero outside durable queues.
+	journalID uint64
+}
+
+// Delivery is a message handed to a consumer, carrying the delivery tag
+// used to acknowledge it.
+type Delivery struct {
+	Message
+	Queue       string
+	Tag         uint64
+	Redelivered bool
+}
+
+// QueueOptions configures a declared queue.
+type QueueOptions struct {
+	// AutoDelete removes the queue when its last consumer cancels
+	// (mirrors the anonymous auto-delete queues the binder creates for
+	// publish-subscribe consumers).
+	AutoDelete bool
+	// MaxLen bounds the number of ready messages; publishers block when
+	// the bound is hit, providing backpressure. Zero means unbounded.
+	MaxLen int
+	// Durable journals the queue's declaration and contents when the
+	// broker was opened with NewDurable: unconsumed and unacknowledged
+	// messages survive a broker restart (at-least-once; see journal.go).
+	// Incompatible with AutoDelete. Ignored on a non-durable broker.
+	Durable bool
+}
+
+// Client is the operation surface shared by the in-process broker and
+// the TCP client, so services are transport-agnostic.
+type Client interface {
+	DeclareExchange(name string, kind ExchangeKind) error
+	DeclareQueue(name string, opts QueueOptions) error
+	DeleteQueue(name string) error
+	Bind(queue, exchange, routingKey string) error
+	Publish(exchange, routingKey string, headers map[string]string, body []byte) error
+	Consume(queue string, prefetch int, autoAck bool) (Consumer, error)
+	QueueStats(queue string) (QueueStats, error)
+	Close() error
+}
+
+// Consumer receives deliveries from one queue.
+type Consumer interface {
+	// Deliveries is closed when the consumer is cancelled or the broker
+	// shuts down.
+	Deliveries() <-chan Delivery
+	// Ack confirms processing of the delivery with the given tag.
+	Ack(tag uint64) error
+	// Nack returns the delivery to the queue head (requeue=true) or
+	// drops it (requeue=false).
+	Nack(tag uint64, requeue bool) error
+	// Cancel detaches the consumer from the queue.
+	Cancel() error
+}
+
+// QueueStats is a point-in-time snapshot of one queue, the data shown in
+// the RabbitMQ management UI's queue table (Figure 18 of the text).
+type QueueStats struct {
+	Name      string
+	Ready     int     // messages waiting for a consumer
+	Unacked   int     // delivered but not yet acknowledged
+	Consumers int     // attached consumers
+	Published int64   // total messages routed into the queue
+	Delivered int64   // total messages handed to consumers
+	Acked     int64   // total acknowledgements
+	InRate    float64 // smoothed publish rate, messages/s
+	OutRate   float64 // smoothed ack rate, messages/s
+}
+
+// State summarises Ready+Unacked as the management UI does.
+func (s QueueStats) State() string {
+	if s.Ready == 0 && s.Unacked == 0 {
+		return "idle"
+	}
+	return "running"
+}
+
+// Broker is the in-process message broker. The zero value is not usable;
+// call New.
+type Broker struct {
+	clock vclock.Clock
+	log   *journal // nil on a non-durable broker
+
+	mu        sync.RWMutex
+	closed    bool
+	exchanges map[string]*exchange
+	queues    map[string]*queue
+	anonSeq   atomic.Uint64
+}
+
+// New creates a broker. A nil clock defaults to the wall clock.
+func New(clock vclock.Clock) *Broker {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Broker{
+		clock:     clock,
+		exchanges: make(map[string]*exchange),
+		queues:    make(map[string]*queue),
+	}
+}
+
+// NewDurable creates a broker backed by an append-only journal in dir,
+// replaying any state a previous instance left behind: exchanges,
+// durable queues, bindings, and the unsettled messages of durable
+// queues (at-least-once across restarts).
+func NewDurable(clock vclock.Clock, dir string) (*Broker, error) {
+	b := New(clock)
+	log, state, err := openJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Replay without re-journaling (openJournal already compacted the
+	// live state into the fresh journal file).
+	for _, ex := range state.exchanges {
+		if err := b.DeclareExchange(ex.name, ex.kind); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range state.queues {
+		if err := b.DeclareQueue(q.name, q.opts); err != nil {
+			return nil, err
+		}
+	}
+	for _, bd := range state.binds {
+		if err := b.Bind(bd.queue, bd.exchange, bd.key); err != nil {
+			return nil, err
+		}
+	}
+	// Attach the journal before re-enqueueing the surviving messages:
+	// the compacted file holds only topology records, so the messages
+	// must flow through the normal journaled enqueue path to be
+	// persisted again (with fresh ids).
+	b.log = log
+	b.mu.Lock()
+	for _, q := range b.queues {
+		if q.opts.Durable {
+			q.log = log
+		}
+	}
+	b.mu.Unlock()
+	b.mu.RLock()
+	for _, q := range state.queues {
+		queue := b.queues[q.name]
+		for _, msg := range state.messages[q.name] {
+			msg.Timestamp = b.clock.Now()
+			msg.journalID = 0 // reassigned by the journaled enqueue
+			if err := queue.enqueue(msg); err != nil {
+				b.mu.RUnlock()
+				return nil, err
+			}
+		}
+	}
+	b.mu.RUnlock()
+	return b, nil
+}
+
+type binding struct {
+	q   *queue
+	key string
+}
+
+type exchange struct {
+	name     string
+	kind     ExchangeKind
+	mu       sync.RWMutex
+	bindings []binding
+}
+
+// DeclareExchange creates the exchange if absent. Re-declaring with the
+// same kind is idempotent, matching AMQP semantics.
+func (b *Broker) DeclareExchange(name string, kind ExchangeKind) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if ex, ok := b.exchanges[name]; ok {
+		if ex.kind != kind {
+			return fmt.Errorf("%w: %q is %v", ErrExchangeExists, name, ex.kind)
+		}
+		return nil
+	}
+	b.exchanges[name] = &exchange{name: name, kind: kind}
+	if b.log != nil {
+		b.log.logDeclareExchange(name, kind)
+	}
+	return nil
+}
+
+// DeclareQueue creates the queue if absent; idempotent for identical
+// options.
+func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if opts.Durable && opts.AutoDelete {
+		return fmt.Errorf("broker: queue %q cannot be both durable and auto-delete", name)
+	}
+	if q, ok := b.queues[name]; ok {
+		if q.opts != opts {
+			return fmt.Errorf("%w: %q", ErrQueueExists, name)
+		}
+		return nil
+	}
+	q := newQueue(name, opts, b.clock, b.removeQueue)
+	if b.log != nil && opts.Durable {
+		q.log = b.log
+		b.log.logDeclareQueue(name, opts)
+	}
+	b.queues[name] = q
+	return nil
+}
+
+// AnonymousQueueName generates a unique auto-delete queue name with the
+// given prefix, in the style the binder uses for publish-subscribe
+// consumers ("Rjoin.exchange.anonymous.42").
+func (b *Broker) AnonymousQueueName(prefix string) string {
+	return fmt.Sprintf("%s.anonymous.%d", prefix, b.anonSeq.Add(1))
+}
+
+// DeleteQueue removes a queue, dropping its messages and cancelling its
+// consumers.
+func (b *Broker) DeleteQueue(name string) error {
+	b.mu.Lock()
+	q, ok := b.queues[name]
+	if ok {
+		delete(b.queues, name)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoQueue, name)
+	}
+	if b.log != nil && q.opts.Durable {
+		b.log.logDeleteQueue(name)
+	}
+	b.unbindAll(q)
+	q.shutdown()
+	return nil
+}
+
+// removeQueue is the auto-delete callback.
+func (b *Broker) removeQueue(q *queue) {
+	b.mu.Lock()
+	if cur, ok := b.queues[q.name]; !ok || cur != q {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.queues, q.name)
+	b.mu.Unlock()
+	b.unbindAll(q)
+	q.shutdown()
+}
+
+func (b *Broker) unbindAll(q *queue) {
+	b.mu.RLock()
+	exs := make([]*exchange, 0, len(b.exchanges))
+	for _, ex := range b.exchanges {
+		exs = append(exs, ex)
+	}
+	b.mu.RUnlock()
+	for _, ex := range exs {
+		ex.mu.Lock()
+		kept := ex.bindings[:0]
+		for _, bd := range ex.bindings {
+			if bd.q != q {
+				kept = append(kept, bd)
+			}
+		}
+		ex.bindings = kept
+		ex.mu.Unlock()
+	}
+}
+
+// Bind routes messages published to the exchange whose routing key
+// matches routingKey (pattern for topic exchanges) into the queue.
+func (b *Broker) Bind(queueName, exchangeName, routingKey string) error {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	ex, okE := b.exchanges[exchangeName]
+	q, okQ := b.queues[queueName]
+	b.mu.RUnlock()
+	if !okE {
+		return fmt.Errorf("%w: %q", ErrNoExchange, exchangeName)
+	}
+	if !okQ {
+		return fmt.Errorf("%w: %q", ErrNoQueue, queueName)
+	}
+	if ex.kind == Topic {
+		if err := validatePattern(routingKey); err != nil {
+			return err
+		}
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for _, bd := range ex.bindings {
+		if bd.q == q && bd.key == routingKey {
+			return nil // idempotent
+		}
+	}
+	ex.bindings = append(ex.bindings, binding{q: q, key: routingKey})
+	if b.log != nil && q.opts.Durable {
+		b.log.logBind(queueName, exchangeName, routingKey)
+	}
+	return nil
+}
+
+// Publish routes one message. It blocks while every matching queue with
+// a MaxLen bound is full, which backpressures fast producers the way a
+// flow-controlled AMQP channel does.
+func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]string, body []byte) error {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	ex, ok := b.exchanges[exchangeName]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoExchange, exchangeName)
+	}
+	msg := Message{
+		Exchange:   exchangeName,
+		RoutingKey: routingKey,
+		Headers:    headers,
+		Body:       body,
+		Timestamp:  b.clock.Now(),
+	}
+	ex.mu.RLock()
+	var targets []*queue
+	for _, bd := range ex.bindings {
+		if ex.matches(bd.key, routingKey) {
+			targets = append(targets, bd.q)
+		}
+	}
+	ex.mu.RUnlock()
+	for _, q := range targets {
+		if err := q.enqueue(msg); err != nil && !errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *exchange) matches(bindKey, routingKey string) bool {
+	switch ex.kind {
+	case Fanout:
+		return true
+	case Direct:
+		return bindKey == routingKey
+	default:
+		return topicMatch(bindKey, routingKey)
+	}
+}
+
+// Consume attaches a consumer to the queue. prefetch bounds the number
+// of unacknowledged deliveries in flight to this consumer (minimum 1);
+// with autoAck deliveries are confirmed as they are handed out.
+func (b *Broker) Consume(queueName string, prefetch int, autoAck bool) (Consumer, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoQueue, queueName)
+	}
+	return q.addConsumer(prefetch, autoAck)
+}
+
+// QueueStats snapshots one queue.
+func (b *Broker) QueueStats(queueName string) (QueueStats, error) {
+	b.mu.RLock()
+	q, ok := b.queues[queueName]
+	b.mu.RUnlock()
+	if !ok {
+		return QueueStats{}, fmt.Errorf("%w: %q", ErrNoQueue, queueName)
+	}
+	return q.stats(), nil
+}
+
+// Queues lists the declared queue names in sorted order.
+func (b *Broker) Queues() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.queues))
+	for n := range b.queues {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exchanges lists the declared exchanges as "name kind" in sorted order.
+func (b *Broker) Exchanges() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.exchanges))
+	for n, ex := range b.exchanges {
+		out = append(out, n+" "+ex.kind.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close shuts the broker down, cancelling every consumer.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	qs := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		qs = append(qs, q)
+	}
+	b.queues = map[string]*queue{}
+	b.exchanges = map[string]*exchange{}
+	b.mu.Unlock()
+	for _, q := range qs {
+		q.shutdown()
+	}
+	if b.log != nil {
+		return b.log.close()
+	}
+	return nil
+}
+
+// FormatQueueTable renders all queues as the text table of Figure 18.
+func (b *Broker) FormatQueueTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-52s %-8s %7s %8s %7s %10s %10s\n",
+		"Name", "State", "Ready", "Unacked", "Total", "In msg/s", "Ack msg/s")
+	for _, name := range b.Queues() {
+		st, err := b.QueueStats(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-52s %-8s %7d %8d %7d %10.1f %10.1f\n",
+			st.Name, st.State(), st.Ready, st.Unacked, st.Ready+st.Unacked,
+			st.InRate, st.OutRate)
+	}
+	return sb.String()
+}

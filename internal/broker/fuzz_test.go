@@ -1,0 +1,27 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopicMatch checks the pattern matcher never panics and respects
+// two invariants on arbitrary inputs: every valid pattern matches
+// itself when wildcard-free, and "#" matches every key.
+func FuzzTopicMatch(f *testing.F) {
+	f.Add("a.*.c", "a.b.c")
+	f.Add("#", "")
+	f.Add("a.#.b", "a.x.y.b")
+	f.Add("*.*", "x.y")
+	f.Fuzz(func(t *testing.T, pattern, key string) {
+		_ = topicMatch(pattern, key) // must not panic
+		if !topicMatch("#", key) {
+			t.Fatalf("# failed to match %q", key)
+		}
+		if validatePattern(key) == nil && !strings.ContainsAny(key, "*#") {
+			if !topicMatch(key, key) {
+				t.Fatalf("literal key %q does not match itself", key)
+			}
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Durability. The text highlights the binder's durable consumer-group
+// subscriptions: "the group will receive messages even if they are sent
+// while all applications in the group are stopped". The in-process
+// broker supports the same through an append-only journal: declares,
+// binds, enqueues into durable queues and settlements are logged;
+// reopening the journal replays them, so messages published while no
+// consumer was attached — or not yet acknowledged at shutdown — survive
+// a broker restart.
+//
+// Semantics: at-least-once. A message that was requeued (Nack) and
+// later settled may, across a crash, be redelivered once more —
+// matching real AMQP brokers. The journal is compacted on open
+// (declares + surviving messages only) and flushed per record; fsync is
+// left to the OS, as RabbitMQ's default publish path does without
+// publisher confirms.
+
+// journal record types.
+const (
+	recDeclareExchange byte = iota + 1
+	recDeclareQueue
+	recBind
+	recEnqueue
+	recSettle
+	recDeleteQueue
+)
+
+// errCorruptRecord marks a record whose fields do not parse; replay
+// skips it.
+var errCorruptRecord = errors.New("broker: corrupt journal record")
+
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// journalState is the replayed content of a journal file.
+type journalState struct {
+	exchanges []recExchange
+	queues    []recQueue
+	binds     []recBinding
+	// messages per durable queue, in enqueue order, already trimmed of
+	// settled deliveries. Settlement is tracked per message id, so
+	// out-of-order acks (competing consumers, requeues) drop exactly
+	// the right messages.
+	messages map[string][]Message
+}
+
+// qReplay accumulates one queue's journal events in order.
+type qReplay struct {
+	order []uint64
+	msgs  map[uint64]Message
+}
+
+func (qr *qReplay) enqueue(id uint64, msg Message) {
+	if qr.msgs == nil {
+		qr.msgs = make(map[uint64]Message)
+	}
+	qr.msgs[id] = msg
+	qr.order = append(qr.order, id)
+}
+
+func (qr *qReplay) settle(id uint64) { delete(qr.msgs, id) }
+
+func (qr *qReplay) live() []Message {
+	var out []Message
+	for _, id := range qr.order {
+		if msg, ok := qr.msgs[id]; ok {
+			out = append(out, msg)
+			delete(qr.msgs, id) // a re-enqueued id emits once, at its
+			// earliest surviving position
+		}
+	}
+	return out
+}
+
+type recExchange struct {
+	name string
+	kind ExchangeKind
+}
+
+type recQueue struct {
+	name string
+	opts QueueOptions
+}
+
+type recBinding struct {
+	queue, exchange, key string
+}
+
+// openJournal loads (and compacts) an existing journal, returning the
+// replayed state and an open handle positioned for appending.
+func openJournal(dir string) (*journal, *journalState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("broker: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "broker.journal")
+	state, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compact: rewrite the topology records; the caller re-enqueues the
+	// surviving messages through the normal (journaled) path, which
+	// assigns them fresh ids in the new file.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &journal{f: f, w: bufio.NewWriter(f), path: path}
+	for _, ex := range state.exchanges {
+		j.logDeclareExchange(ex.name, ex.kind)
+	}
+	for _, q := range state.queues {
+		j.logDeclareQueue(q.name, q.opts)
+	}
+	for _, bd := range state.binds {
+		j.logBind(bd.queue, bd.exchange, bd.key)
+	}
+	if err := j.w.Flush(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, state, nil
+}
+
+// replayJournal parses the journal, tolerating a truncated final record
+// (a crash mid-append).
+func replayJournal(path string) (*journalState, error) {
+	state := &journalState{messages: make(map[string][]Message)}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return state, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	replays := map[string]*qReplay{}
+	queueReplay := func(name string) *qReplay {
+		qr := replays[name]
+		if qr == nil {
+			qr = &qReplay{}
+			replays[name] = qr
+		}
+		return qr
+	}
+	r := bufio.NewReader(f)
+	for {
+		rec, err := readRecord(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // truncated tail: drop it
+			}
+			return nil, err
+		}
+		rd := &reader{buf: rec[1:]}
+		switch rec[0] {
+		case recDeclareExchange:
+			name := rd.string()
+			kind := ExchangeKind(rd.byte())
+			if rd.err == nil {
+				state.exchanges = append(state.exchanges, recExchange{name, kind})
+			}
+		case recDeclareQueue:
+			name := rd.string()
+			opts := QueueOptions{
+				AutoDelete: rd.bool(),
+				MaxLen:     int(rd.uvarint()),
+				Durable:    true,
+			}
+			if rd.err == nil {
+				state.queues = append(state.queues, recQueue{name, opts})
+			}
+		case recBind:
+			q, ex, key := rd.string(), rd.string(), rd.string()
+			if rd.err == nil {
+				state.binds = append(state.binds, recBinding{q, ex, key})
+			}
+		case recEnqueue:
+			q := rd.string()
+			id := rd.uvarint()
+			msg := Message{
+				Exchange:   rd.string(),
+				RoutingKey: rd.string(),
+				Headers:    rd.headers(),
+				Body:       rd.bytes(),
+			}
+			if rd.err == nil {
+				queueReplay(q).enqueue(id, msg)
+			}
+		case recSettle:
+			q := rd.string()
+			id := rd.uvarint()
+			if rd.err == nil {
+				queueReplay(q).settle(id)
+			}
+		case recDeleteQueue:
+			name := rd.string()
+			if rd.err == nil {
+				kept := state.queues[:0]
+				for _, q := range state.queues {
+					if q.name != name {
+						kept = append(kept, q)
+					}
+				}
+				state.queues = kept
+				keptB := state.binds[:0]
+				for _, bd := range state.binds {
+					if bd.queue != name {
+						keptB = append(keptB, bd)
+					}
+				}
+				state.binds = keptB
+				delete(replays, name)
+			}
+		default:
+			// Unknown record from a future version: skip.
+		}
+	}
+	for q, qr := range replays {
+		if live := qr.live(); len(live) > 0 {
+			state.messages[q] = live
+		}
+	}
+	return state, nil
+}
+
+// readRecord reads one length-prefixed record.
+func readRecord(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxJournalRecord {
+		return nil, fmt.Errorf("broker: corrupt journal record of %d bytes", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+const maxJournalRecord = 16 << 20
+
+func (j *journal) append(rec []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	j.w.Write(hdr[:])
+	j.w.Write(rec)
+	j.w.Flush()
+}
+
+func (j *journal) logDeclareExchange(name string, kind ExchangeKind) {
+	rec := []byte{recDeclareExchange}
+	rec = appendString(rec, name)
+	rec = append(rec, byte(kind))
+	j.append(rec)
+}
+
+func (j *journal) logDeleteQueue(name string) {
+	rec := []byte{recDeleteQueue}
+	rec = appendString(rec, name)
+	j.append(rec)
+}
+
+func (j *journal) logDeclareQueue(name string, opts QueueOptions) {
+	rec := []byte{recDeclareQueue}
+	rec = appendString(rec, name)
+	rec = append(rec, boolByte(opts.AutoDelete))
+	rec = binary.AppendUvarint(rec, uint64(opts.MaxLen))
+	j.append(rec)
+}
+
+func (j *journal) logBind(queue, exchange, key string) {
+	rec := []byte{recBind}
+	rec = appendString(rec, queue)
+	rec = appendString(rec, exchange)
+	rec = appendString(rec, key)
+	j.append(rec)
+}
+
+func (j *journal) logEnqueue(queue string, id uint64, msg Message) {
+	rec := []byte{recEnqueue}
+	rec = appendString(rec, queue)
+	rec = binary.AppendUvarint(rec, id)
+	rec = appendString(rec, msg.Exchange)
+	rec = appendString(rec, msg.RoutingKey)
+	rec = appendHeaders(rec, msg.Headers)
+	rec = appendBytes(rec, msg.Body)
+	j.append(rec)
+}
+
+func (j *journal) logSettle(queue string, id uint64) {
+	rec := []byte{recSettle}
+	rec = appendString(rec, queue)
+	rec = binary.AppendUvarint(rec, id)
+	j.append(rec)
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w.Flush()
+	return j.f.Close()
+}

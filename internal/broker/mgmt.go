@@ -1,0 +1,82 @@
+package broker
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// NewMgmtHandler exposes the broker's management API over HTTP, the
+// counterpart of the RabbitMQ management plugin the text inspects on
+// port 15672 (Figure 18):
+//
+//	GET /               text dashboard (the queue table)
+//	GET /api/queues     JSON array of queue statistics
+//	GET /api/exchanges  JSON array of exchanges
+//	GET /api/overview   JSON totals
+func NewMgmtHandler(b *Broker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(b.FormatQueueTable()))
+	})
+	mux.HandleFunc("/api/queues", func(w http.ResponseWriter, r *http.Request) {
+		var out []QueueStats
+		for _, name := range b.Queues() {
+			if st, err := b.QueueStats(name); err == nil {
+				out = append(out, st)
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/api/exchanges", func(w http.ResponseWriter, r *http.Request) {
+		type exchangeInfo struct {
+			Name string `json:"name"`
+			Kind string `json:"type"`
+		}
+		var out []exchangeInfo
+		for _, e := range b.Exchanges() {
+			name, kind, _ := strings.Cut(e, " ")
+			out = append(out, exchangeInfo{Name: name, Kind: kind})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/api/overview", func(w http.ResponseWriter, r *http.Request) {
+		type overview struct {
+			Queues    int   `json:"queues"`
+			Exchanges int   `json:"exchanges"`
+			Ready     int   `json:"messages_ready"`
+			Unacked   int   `json:"messages_unacknowledged"`
+			Published int64 `json:"publish_total"`
+			Acked     int64 `json:"ack_total"`
+		}
+		var ov overview
+		ov.Exchanges = len(b.Exchanges())
+		for _, name := range b.Queues() {
+			st, err := b.QueueStats(name)
+			if err != nil {
+				continue
+			}
+			ov.Queues++
+			ov.Ready += st.Ready
+			ov.Unacked += st.Unacked
+			ov.Published += st.Published
+			ov.Acked += st.Acked
+		}
+		writeJSON(w, ov)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,84 @@
+package broker
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func mgmtGet(t *testing.T, b *Broker, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	h := NewMgmtHandler(b)
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func mgmtBroker(t *testing.T) *Broker {
+	t.Helper()
+	b := newTestBroker(t)
+	declare(t, b, "Rstore.exchange", Topic, "Rstore.exchange.q.0")
+	b.Publish("Rstore.exchange", "x", nil, []byte("m"))
+	return b
+}
+
+func TestMgmtDashboard(t *testing.T) {
+	b := mgmtBroker(t)
+	rec := mgmtGet(t, b, "/")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Rstore.exchange.q.0") || !strings.Contains(body, "running") {
+		t.Errorf("dashboard:\n%s", body)
+	}
+	if rec := mgmtGet(t, b, "/nope"); rec.Code != 404 {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}
+
+func TestMgmtQueuesJSON(t *testing.T) {
+	b := mgmtBroker(t)
+	rec := mgmtGet(t, b, "/api/queues")
+	var stats []QueueStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(stats) != 1 || stats[0].Name != "Rstore.exchange.q.0" || stats[0].Ready != 1 {
+		t.Errorf("queues = %+v", stats)
+	}
+}
+
+func TestMgmtExchangesJSON(t *testing.T) {
+	b := mgmtBroker(t)
+	rec := mgmtGet(t, b, "/api/exchanges")
+	var exs []struct {
+		Name string `json:"name"`
+		Kind string `json:"type"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &exs); err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 1 || exs[0].Name != "Rstore.exchange" || exs[0].Kind != "topic" {
+		t.Errorf("exchanges = %+v", exs)
+	}
+}
+
+func TestMgmtOverviewJSON(t *testing.T) {
+	b := mgmtBroker(t)
+	rec := mgmtGet(t, b, "/api/overview")
+	var ov struct {
+		Queues    int   `json:"queues"`
+		Exchanges int   `json:"exchanges"`
+		Ready     int   `json:"messages_ready"`
+		Published int64 `json:"publish_total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Queues != 1 || ov.Exchanges != 1 || ov.Ready != 1 || ov.Published != 1 {
+		t.Errorf("overview = %+v", ov)
+	}
+}

@@ -1,0 +1,381 @@
+package broker
+
+import (
+	"container/list"
+	"sync"
+
+	"bistream/internal/metrics"
+	"bistream/internal/vclock"
+)
+
+// queue holds ready messages and dispatches them to consumers in FIFO
+// order. Each consumer runs a dispatcher goroutine that pops from the
+// shared ready list and performs a blocking send into the consumer's
+// delivery channel: the channel's capacity (== prefetch) provides flow
+// control for auto-ack consumers, and the unacked map bounds manual-ack
+// consumers. A single popper per consumer preserves pairwise FIFO.
+type queue struct {
+	name string
+	opts QueueOptions
+
+	mu        sync.Mutex
+	notFull   *sync.Cond
+	notEmpty  *sync.Cond
+	ready     *list.List // of Message
+	consumers []*consumer
+	closed    bool
+	everHad   bool // a consumer has attached at least once (for AutoDelete)
+
+	published metrics.Counter
+	delivered metrics.Counter
+	acked     metrics.Counter
+	inMeter   *metrics.Meter
+	outMeter  *metrics.Meter
+	clock     vclock.Clock
+	onEmpty   func(*queue) // auto-delete callback
+	log       *journal     // non-nil for durable queues on a durable broker
+
+	nextTag uint64
+	logSeq  uint64 // journal message ids
+}
+
+// logNewEnqueue journals a message entering the ready list for the
+// first time, assigning its journal id. Called with q.mu held; the
+// journal has its own lock.
+func (q *queue) logNewEnqueue(msg *Message) {
+	if q.log != nil {
+		q.logSeq++
+		msg.journalID = q.logSeq
+		q.log.logEnqueue(q.name, msg.journalID, *msg)
+	}
+}
+
+// logReEnqueue journals a message re-entering the ready list after its
+// settle was already logged (the auto-ack cancel path). Called with
+// q.mu held.
+func (q *queue) logReEnqueue(msg Message) {
+	if q.log != nil && msg.journalID != 0 {
+		q.log.logEnqueue(q.name, msg.journalID, msg)
+	}
+}
+
+// logSettle journals a settlement (ack, drop, or auto-ack dispatch).
+// Called with q.mu held.
+func (q *queue) logSettle(msg Message) {
+	if q.log != nil && msg.journalID != 0 {
+		q.log.logSettle(q.name, msg.journalID)
+	}
+}
+
+func newQueue(name string, opts QueueOptions, clock vclock.Clock, onEmpty func(*queue)) *queue {
+	q := &queue{
+		name:     name,
+		opts:     opts,
+		ready:    list.New(),
+		inMeter:  metrics.NewMeter(0),
+		outMeter: metrics.NewMeter(0),
+		clock:    clock,
+		onEmpty:  onEmpty,
+	}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue adds a message, blocking while the queue is at MaxLen.
+func (q *queue) enqueue(msg Message) error {
+	q.mu.Lock()
+	for q.opts.MaxLen > 0 && q.backlogLocked() >= q.opts.MaxLen && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.logNewEnqueue(&msg)
+	q.ready.PushBack(msg)
+	q.published.Inc()
+	q.inMeter.Observe(q.clock.Now(), 1)
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// backlogLocked counts messages the queue is still responsible for:
+// ready plus unacknowledged. Using it for the MaxLen bound means slow
+// *processing*, not just slow delivery, backpressures publishers.
+func (q *queue) backlogLocked() int {
+	n := q.ready.Len()
+	for _, c := range q.consumers {
+		n += len(c.unacked)
+	}
+	return n
+}
+
+func (q *queue) addConsumer(prefetch int, autoAck bool) (*consumer, error) {
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c := &consumer{
+		q:        q,
+		prefetch: prefetch,
+		autoAck:  autoAck,
+		ch:       make(chan Delivery, prefetch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		unacked:  make(map[uint64]Message),
+	}
+	q.consumers = append(q.consumers, c)
+	q.everHad = true
+	q.mu.Unlock()
+	go c.dispatch()
+	return c, nil
+}
+
+// detachLocked removes c from the consumer slice. Called with q.mu held.
+func (q *queue) detachLocked(c *consumer) {
+	for i, cc := range q.consumers {
+		if cc == c {
+			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *queue) shutdown() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	consumers := append([]*consumer(nil), q.consumers...)
+	q.ready.Init()
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+	for _, c := range consumers {
+		c.Cancel()
+	}
+}
+
+func (q *queue) stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	unacked := 0
+	for _, c := range q.consumers {
+		unacked += len(c.unacked)
+	}
+	return QueueStats{
+		Name:      q.name,
+		Ready:     q.ready.Len(),
+		Unacked:   unacked,
+		Consumers: len(q.consumers),
+		Published: q.published.Value(),
+		Delivered: q.delivered.Value(),
+		Acked:     q.acked.Value(),
+		InRate:    q.inMeter.Rate(),
+		OutRate:   q.outMeter.Rate(),
+	}
+}
+
+func sortUint64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}
+
+// consumer implements Consumer against the in-process queue.
+type consumer struct {
+	q        *queue
+	prefetch int
+	autoAck  bool
+	ch       chan Delivery
+	stop     chan struct{}
+	done     chan struct{}
+
+	// guarded by q.mu
+	unacked   map[uint64]Message
+	cancelled bool
+}
+
+// dispatch is the per-consumer pump: pop a ready message (respecting the
+// manual-ack prefetch bound), then block-send it to the delivery
+// channel. It exits when the consumer is cancelled or the queue closes.
+func (c *consumer) dispatch() {
+	q := c.q
+	defer close(c.done)
+	for {
+		q.mu.Lock()
+		for !q.closed && !c.cancelled &&
+			(q.ready.Len() == 0 || (!c.autoAck && len(c.unacked) >= c.prefetch)) {
+			q.notEmpty.Wait()
+		}
+		if q.closed || c.cancelled {
+			q.mu.Unlock()
+			return
+		}
+		front := q.ready.Front()
+		msg := front.Value.(Message)
+		q.ready.Remove(front)
+		q.nextTag++
+		d := Delivery{Message: msg, Queue: q.name, Tag: q.nextTag}
+		if c.autoAck {
+			q.acked.Inc()
+			q.logSettle(msg)
+			q.outMeter.Observe(q.clock.Now(), 1)
+			q.notFull.Signal()
+		} else {
+			c.unacked[d.Tag] = msg
+		}
+		q.delivered.Inc()
+		q.mu.Unlock()
+		select {
+		case c.ch <- d:
+		case <-c.stop:
+			// Cancelled while blocked on a full delivery channel: the
+			// popped message must not be lost. Requeue it at the head
+			// (journaled as a fresh enqueue, balancing any settle the
+			// optimistic auto-ack already logged).
+			q.mu.Lock()
+			if c.autoAck {
+				q.acked.Add(-1) // undo the optimistic settle
+				q.logReEnqueue(msg)
+			} else {
+				delete(c.unacked, d.Tag)
+				// Not re-journaled: the original enqueue record is
+				// still unsettled.
+			}
+			q.delivered.Add(-1)
+			q.ready.PushFront(msg)
+			q.notEmpty.Signal()
+			q.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Deliveries returns the delivery channel. It is closed after Cancel or
+// broker shutdown.
+func (c *consumer) Deliveries() <-chan Delivery { return c.ch }
+
+// Ack confirms the delivery with the given tag.
+func (c *consumer) Ack(tag uint64) error {
+	q := c.q
+	q.mu.Lock()
+	if c.cancelled {
+		q.mu.Unlock()
+		return ErrConsumerClosed
+	}
+	msg, ok := c.unacked[tag]
+	if !ok {
+		q.mu.Unlock()
+		return ErrUnknownDelivery
+	}
+	delete(c.unacked, tag)
+	q.acked.Inc()
+	q.logSettle(msg)
+	q.outMeter.Observe(q.clock.Now(), 1)
+	q.notEmpty.Broadcast()
+	q.notFull.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Nack rejects the delivery, optionally requeueing it at the head.
+func (c *consumer) Nack(tag uint64, requeue bool) error {
+	q := c.q
+	q.mu.Lock()
+	if c.cancelled {
+		q.mu.Unlock()
+		return ErrConsumerClosed
+	}
+	msg, ok := c.unacked[tag]
+	if !ok {
+		q.mu.Unlock()
+		return ErrUnknownDelivery
+	}
+	delete(c.unacked, tag)
+	if requeue {
+		q.ready.PushFront(msg) // journal untouched: still unsettled
+	} else {
+		q.acked.Inc() // dropped counts as settled
+		q.logSettle(msg)
+		q.notFull.Signal()
+	}
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+	return nil
+}
+
+// Cancel detaches the consumer. Its undelivered buffered messages and
+// unacknowledged messages are returned to the queue head in order, and
+// the delivery channel is closed.
+func (c *consumer) Cancel() error {
+	q := c.q
+	q.mu.Lock()
+	if c.cancelled {
+		q.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.cancelled = true
+	close(c.stop)
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+	<-c.done // dispatcher finished; it will not touch c.ch again
+
+	q.mu.Lock()
+	q.detachLocked(c)
+	// Drain deliveries that were buffered but never received, then close.
+	var buffered []Delivery
+drainLoop:
+	for {
+		select {
+		case d := <-c.ch:
+			buffered = append(buffered, d)
+		default:
+			break drainLoop
+		}
+	}
+	close(c.ch)
+	// Requeue: first unacked (older tags first), then buffered (already
+	// tag-ordered), all pushed to the front preserving relative order.
+	tags := make([]uint64, 0, len(c.unacked))
+	for tag := range c.unacked {
+		tags = append(tags, tag)
+	}
+	sortUint64(tags)
+	for i := len(buffered) - 1; i >= 0; i-- {
+		d := buffered[i]
+		if c.autoAck {
+			q.acked.Add(-1)
+		} else {
+			delete(c.unacked, d.Tag)
+		}
+		q.delivered.Add(-1)
+		q.ready.PushFront(d.Message)
+	}
+	for i := len(tags) - 1; i >= 0; i-- {
+		if msg, ok := c.unacked[tags[i]]; ok {
+			q.ready.PushFront(msg)
+			q.delivered.Add(-1)
+		}
+	}
+	c.unacked = map[uint64]Message{}
+	autoDelete := q.opts.AutoDelete && q.everHad && len(q.consumers) == 0 && !q.closed
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+	if autoDelete && q.onEmpty != nil {
+		q.onEmpty(q)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topic routing-key patterns follow AMQP: keys are dot-separated words;
+// in a binding pattern "*" matches exactly one word and "#" matches zero
+// or more words. "stream.r.store" matches the patterns "stream.*.store",
+// "stream.#" and "#", but not "stream.*".
+
+// validatePattern rejects malformed binding patterns early so that
+// misrouted topologies fail at Bind time rather than silently dropping
+// messages.
+func validatePattern(pattern string) error {
+	if pattern == "" {
+		return fmt.Errorf("broker: empty topic pattern")
+	}
+	for _, w := range strings.Split(pattern, ".") {
+		if w == "" {
+			return fmt.Errorf("broker: topic pattern %q has empty word", pattern)
+		}
+		if strings.ContainsAny(w, "*#") && w != "*" && w != "#" {
+			return fmt.Errorf("broker: topic pattern %q mixes wildcard and text in word %q", pattern, w)
+		}
+	}
+	return nil
+}
+
+// topicMatch reports whether the routing key matches the binding
+// pattern. It runs a two-pointer match with backtracking over "#",
+// equivalent to the classic glob algorithm, in O(len(pattern) *
+// len(key)) worst case and O(n) for patterns without "#".
+func topicMatch(pattern, key string) bool {
+	p := strings.Split(pattern, ".")
+	var k []string
+	if key != "" { // the empty key has zero words, not one empty word
+		k = strings.Split(key, ".")
+	}
+	return matchWords(p, k)
+}
+
+func matchWords(p, k []string) bool {
+	pi, ki := 0, 0
+	starP, starK := -1, -1 // position of last '#' in p and the k index tried
+	for ki < len(k) {
+		switch {
+		// The "#" case must precede the literal comparison: a key whose
+		// word is the literal text "#" would otherwise consume the
+		// pattern's wildcard as an exact match and break backtracking.
+		case pi < len(p) && p[pi] == "#":
+			starP, starK = pi, ki
+			pi++
+		case pi < len(p) && (p[pi] == "*" || p[pi] == k[ki]):
+			pi++
+			ki++
+		case starP >= 0:
+			// Extend the last '#' by one more word.
+			starK++
+			pi = starP + 1
+			ki = starK
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == "#" {
+		pi++
+	}
+	return pi == len(p)
+}

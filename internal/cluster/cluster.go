@@ -1,0 +1,261 @@
+// Package cluster simulates the container-orchestration substrate of
+// the deployment described in Chapters 4-5 of the source text: worker
+// nodes with CPU/memory capacity, pods with resource requests scheduled
+// onto them, deployments reconciling replica counts, services selecting
+// pods, a metrics server scraping per-pod usage, and a Horizontal Pod
+// Autoscaler implementing the documented Kubernetes control loop for
+// CPU-utilization and memory targets.
+//
+// The simulator is deliberately deterministic and driven by explicit
+// Reconcile/Scrape calls (scheduled on a virtual clock by the
+// experiment harness), so the 60-minute autoscaling experiments of
+// Figures 20-21 replay identically in milliseconds.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ResourceList is a CPU+memory quantity, in the units Kubernetes uses:
+// millicores and bytes.
+type ResourceList struct {
+	MilliCPU int64
+	MemBytes int64
+}
+
+// Add returns the component-wise sum.
+func (r ResourceList) Add(o ResourceList) ResourceList {
+	return ResourceList{MilliCPU: r.MilliCPU + o.MilliCPU, MemBytes: r.MemBytes + o.MemBytes}
+}
+
+// Sub returns the component-wise difference.
+func (r ResourceList) Sub(o ResourceList) ResourceList {
+	return ResourceList{MilliCPU: r.MilliCPU - o.MilliCPU, MemBytes: r.MemBytes - o.MemBytes}
+}
+
+// Fits reports whether r fits within capacity o.
+func (r ResourceList) Fits(o ResourceList) bool {
+	return r.MilliCPU <= o.MilliCPU && r.MemBytes <= o.MemBytes
+}
+
+// Node is one worker VM (the thesis used n1-standard-1: 1 vCPU,
+// 3.75 GB).
+type Node struct {
+	Name      string
+	Capacity  ResourceList
+	allocated ResourceList
+	pods      map[string]*Pod
+	notReady  bool
+}
+
+// Ready reports whether the node accepts pods.
+func (n *Node) Ready() bool { return !n.notReady }
+
+// Allocated returns the sum of requests of pods bound to the node.
+func (n *Node) Allocated() ResourceList { return n.allocated }
+
+// Free returns the unallocated capacity.
+func (n *Node) Free() ResourceList { return n.Capacity.Sub(n.allocated) }
+
+// PodPhase is a pod's lifecycle phase.
+type PodPhase uint8
+
+// Pod phases.
+const (
+	PodPending PodPhase = iota
+	PodRunning
+	PodTerminated
+)
+
+// String names the phase as kubectl does.
+func (p PodPhase) String() string {
+	switch p {
+	case PodPending:
+		return "Pending"
+	case PodRunning:
+		return "Running"
+	default:
+		return "Terminated"
+	}
+}
+
+// UsageFunc samples a pod's live resource usage. The experiment harness
+// binds it to the real engine member backing the pod, so the autoscaler
+// reacts to genuine load.
+type UsageFunc func() ResourceList
+
+// PodSpec is the template a deployment stamps out.
+type PodSpec struct {
+	Image    string
+	Requests ResourceList
+	Labels   map[string]string
+}
+
+// Pod is one scheduled container instance.
+type Pod struct {
+	Name    string
+	Spec    PodSpec
+	Node    *Node
+	Phase   PodPhase
+	Started time.Time
+
+	usageFn   UsageFunc
+	lastUsage ResourceList // refreshed by the metrics server
+	stopFn    func()
+}
+
+// Usage returns the last scraped usage sample.
+func (p *Pod) Usage() ResourceList { return p.lastUsage }
+
+// Cluster owns nodes and pods and performs scheduling.
+type Cluster struct {
+	nodes   []*Node
+	pods    map[string]*Pod
+	nextPod map[string]int // per-deployment pod name counter
+}
+
+// New creates an empty cluster.
+func New() *Cluster {
+	return &Cluster{pods: make(map[string]*Pod), nextPod: make(map[string]int)}
+}
+
+// AddNode registers a worker node.
+func (c *Cluster) AddNode(name string, capacity ResourceList) *Node {
+	n := &Node{Name: name, Capacity: capacity, pods: make(map[string]*Pod)}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AddStandardNodes adds count nodes shaped like the thesis's GKE
+// free-tier workers: 1 vCPU and 3.75 GB each.
+func (c *Cluster) AddStandardNodes(count int) {
+	for i := 0; i < count; i++ {
+		c.AddNode(fmt.Sprintf("gke-cluster-biclique-node-%d", i+1), ResourceList{
+			MilliCPU: 1000,
+			MemBytes: 3750 << 20,
+		})
+	}
+}
+
+// Nodes returns the nodes in registration order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Pods returns all non-terminated pods sorted by name.
+func (c *Cluster) Pods() []*Pod {
+	out := make([]*Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// schedule binds the pod to the ready node with the most free CPU that
+// fits its requests; without one the pod stays Pending.
+func (c *Cluster) schedule(p *Pod) {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.notReady || !p.Spec.Requests.Fits(n.Free()) {
+			continue
+		}
+		if best == nil || n.Free().MilliCPU > best.Free().MilliCPU {
+			best = n
+		}
+	}
+	if best == nil {
+		p.Phase = PodPending
+		return
+	}
+	p.Node = best
+	p.Phase = PodRunning
+	best.allocated = best.allocated.Add(p.Spec.Requests)
+	best.pods[p.Name] = p
+}
+
+// createPod instantiates and schedules a pod for a deployment.
+func (c *Cluster) createPod(deployment string, spec PodSpec, now time.Time) *Pod {
+	c.nextPod[deployment]++
+	name := fmt.Sprintf("%s-%d", deployment, c.nextPod[deployment])
+	p := &Pod{Name: name, Spec: spec, Started: now}
+	c.pods[name] = p
+	c.schedule(p)
+	return p
+}
+
+// deletePod terminates a pod and releases its node resources.
+func (c *Cluster) deletePod(p *Pod) {
+	if p.Phase == PodRunning && p.Node != nil {
+		p.Node.allocated = p.Node.allocated.Sub(p.Spec.Requests)
+		delete(p.Node.pods, p.Name)
+	}
+	p.Phase = PodTerminated
+	delete(c.pods, p.Name)
+	if p.stopFn != nil {
+		p.stopFn()
+	}
+}
+
+// retrySchedulePending tries to place Pending pods (capacity may have
+// been freed).
+func (c *Cluster) retrySchedulePending() {
+	for _, p := range c.Pods() {
+		if p.Phase == PodPending {
+			c.schedule(p)
+		}
+	}
+}
+
+// FailNode marks a node NotReady and terminates its pods, the failure
+// the orchestrator's auto-healing (§4.5) recovers from: the owning
+// deployments replace the lost pods on their next Reconcile.
+func (c *Cluster) FailNode(name string) error {
+	var node *Node
+	for _, n := range c.nodes {
+		if n.Name == name {
+			node = n
+			break
+		}
+	}
+	if node == nil {
+		return fmt.Errorf("cluster: no node %q", name)
+	}
+	node.notReady = true
+	for _, p := range node.pods {
+		c.deletePod(p)
+	}
+	return nil
+}
+
+// RecoverNode returns a failed node to service and reschedules any
+// Pending pods onto it.
+func (c *Cluster) RecoverNode(name string) error {
+	for _, n := range c.nodes {
+		if n.Name == name {
+			n.notReady = false
+			c.retrySchedulePending()
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: no node %q", name)
+}
+
+// FormatNodes renders the node table ("kubectl get nodes" plus usage).
+func (c *Cluster) FormatNodes() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-38s %-8s %12s %14s %6s\n", "NAME", "STATUS", "CPU(alloc/cap)", "MEM(alloc/cap)", "PODS")
+	for _, n := range c.nodes {
+		status := "Ready"
+		if n.notReady {
+			status = "NotReady"
+		}
+		fmt.Fprintf(&sb, "%-38s %-8s %6dm/%dm %8dMi/%dMi %6d\n",
+			n.Name, status,
+			n.allocated.MilliCPU, n.Capacity.MilliCPU,
+			n.allocated.MemBytes>>20, n.Capacity.MemBytes>>20,
+			len(n.pods))
+	}
+	return sb.String()
+}

@@ -1,0 +1,498 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func t0() time.Time { return time.Unix(0, 0).UTC() }
+
+func smallSpec(cpu, memMi int64) PodSpec {
+	return PodSpec{
+		Image:    "eangelog/test-service",
+		Requests: ResourceList{MilliCPU: cpu, MemBytes: memMi << 20},
+		Labels:   map[string]string{"run": "test"},
+	}
+}
+
+func TestResourceListArithmetic(t *testing.T) {
+	a := ResourceList{MilliCPU: 500, MemBytes: 100}
+	b := ResourceList{MilliCPU: 200, MemBytes: 40}
+	if got := a.Add(b); got.MilliCPU != 700 || got.MemBytes != 140 {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got.MilliCPU != 300 || got.MemBytes != 60 {
+		t.Errorf("Sub = %+v", got)
+	}
+	if !b.Fits(a) || a.Fits(b) {
+		t.Error("Fits wrong")
+	}
+}
+
+func TestSchedulingSpreadsAndRespectsCapacity(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(2) // 1000m each
+	d := c.NewDeployment("app", smallSpec(600, 100), 2, PodHooks{})
+	d.Reconcile(t0())
+	if d.ReadyReplicas() != 2 {
+		t.Fatalf("ready = %d", d.ReadyReplicas())
+	}
+	pods := d.Pods()
+	if pods[0].Node == pods[1].Node {
+		t.Error("600m pods should spread across 1000m nodes")
+	}
+	// A third 600m pod cannot fit anywhere: Pending.
+	d.Scale(3)
+	d.Reconcile(t0())
+	if d.ReadyReplicas() != 2 {
+		t.Errorf("ready = %d after overcommit", d.ReadyReplicas())
+	}
+	var pending *Pod
+	for _, p := range d.Pods() {
+		if p.Phase == PodPending {
+			pending = p
+		}
+	}
+	if pending == nil {
+		t.Fatal("no pending pod")
+	}
+	// Scale down by one; the pending pod was created last so it goes,
+	// and the cluster stays consistent.
+	d.Scale(2)
+	d.Reconcile(t0())
+	if len(c.Pods()) != 2 {
+		t.Errorf("cluster pods = %d", len(c.Pods()))
+	}
+}
+
+func TestPendingPodScheduledWhenCapacityFrees(t *testing.T) {
+	c := New()
+	c.AddNode("n1", ResourceList{MilliCPU: 1000, MemBytes: 1 << 30})
+	d1 := c.NewDeployment("big", smallSpec(800, 10), 1, PodHooks{})
+	d1.Reconcile(t0())
+	d2 := c.NewDeployment("other", smallSpec(500, 10), 1, PodHooks{})
+	d2.Reconcile(t0())
+	if d2.ReadyReplicas() != 0 {
+		t.Fatal("second pod should be pending")
+	}
+	d1.Scale(0)
+	d1.Reconcile(t0())
+	if d2.ReadyReplicas() != 1 {
+		t.Error("pending pod not scheduled after capacity freed")
+	}
+}
+
+func TestPodHooksLifecycle(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(1)
+	started, stopped := 0, 0
+	hooks := PodHooks{OnStart: func(p *Pod) (UsageFunc, func()) {
+		started++
+		return func() ResourceList { return ResourceList{MilliCPU: 123} }, func() { stopped++ }
+	}}
+	d := c.NewDeployment("svc", smallSpec(100, 10), 2, hooks)
+	d.Reconcile(t0())
+	if started != 2 {
+		t.Errorf("started = %d", started)
+	}
+	ms := c.NewMetricsServer()
+	ms.Scrape(t0())
+	for _, p := range d.Pods() {
+		if p.Usage().MilliCPU != 123 {
+			t.Errorf("usage = %+v", p.Usage())
+		}
+	}
+	d.Scale(0)
+	d.Reconcile(t0())
+	if stopped != 2 {
+		t.Errorf("stopped = %d", stopped)
+	}
+}
+
+func TestServiceEndpoints(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(2)
+	spec := smallSpec(100, 10)
+	spec.Labels = map[string]string{"run": "biclique-router"}
+	d := c.NewDeployment("biclique-router", spec, 2, PodHooks{})
+	d.Reconcile(t0())
+	other := c.NewDeployment("unrelated", smallSpec(100, 10), 1, PodHooks{})
+	other.Reconcile(t0())
+	svc := c.NewService("router", map[string]string{"run": "biclique-router"}, 8080, "10.3.240.7", "")
+	if got := len(svc.Endpoints()); got != 2 {
+		t.Errorf("endpoints = %d", got)
+	}
+	out := FormatServices([]*Service{svc})
+	if !strings.Contains(out, "router") || !strings.Contains(out, "8080/TCP") || !strings.Contains(out, "<none>") {
+		t.Errorf("service table:\n%s", out)
+	}
+}
+
+func TestFormatTables(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(2)
+	d := c.NewDeployment("biclique-joiner-r", smallSpec(200, 64), 2, PodHooks{})
+	d.Reconcile(t0())
+	nodes := c.FormatNodes()
+	if !strings.Contains(nodes, "gke-cluster-biclique-node-1") || !strings.Contains(nodes, "Ready") {
+		t.Errorf("nodes table:\n%s", nodes)
+	}
+	deps := FormatDeployments([]*Deployment{d})
+	if !strings.Contains(deps, "biclique-joiner-r") || !strings.Contains(deps, "2/2") {
+		t.Errorf("deployments table:\n%s", deps)
+	}
+}
+
+// fakeUsage drives an HPA deterministically.
+type fakeUsage struct{ perPod ResourceList }
+
+func (f *fakeUsage) hooks() PodHooks {
+	return PodHooks{OnStart: func(p *Pod) (UsageFunc, func()) {
+		return func() ResourceList { return f.perPod }, func() {}
+	}}
+}
+
+func newHPACluster(t *testing.T, target Target, min, max int) (*Cluster, *Deployment, *HPA, *MetricsServer, *fakeUsage) {
+	t.Helper()
+	c := New()
+	c.AddStandardNodes(8)
+	fu := &fakeUsage{perPod: ResourceList{}}
+	d := c.NewDeployment("joiner", smallSpec(200, 256), min, fu.hooks())
+	d.Reconcile(t0())
+	h, err := NewHPA("joiner-hpa", d, min, max, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, h, c.NewMetricsServer(), fu
+}
+
+func TestHPAValidation(t *testing.T) {
+	c := New()
+	d := c.NewDeployment("x", smallSpec(1, 1), 1, PodHooks{})
+	if _, err := NewHPA("h", d, 0, 3, Target{Resource: CPU, AverageUtilization: 80}); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := NewHPA("h", d, 2, 1, Target{Resource: CPU, AverageUtilization: 80}); err == nil {
+		t.Error("max < min accepted")
+	}
+	if _, err := NewHPA("h", d, 1, 3, Target{Resource: CPU}); err == nil {
+		t.Error("empty target accepted")
+	}
+}
+
+func TestHPAScalesUpOnHighCPU(t *testing.T) {
+	// Target 80% of 200m = 160m. Usage 290m/pod → ratio ~1.81 → 2 pods.
+	_, d, h, ms, fu := newHPACluster(t, Target{Resource: CPU, AverageUtilization: 80}, 1, 3)
+	fu.perPod = ResourceList{MilliCPU: 290}
+	now := t0()
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", d.Replicas())
+	}
+	// Still hot: 260m/pod → ratio 1.63 → ceil(2*1.63)=4 → clamped to 3.
+	fu.perPod = ResourceList{MilliCPU: 260}
+	now = now.Add(30 * time.Second)
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() != 3 {
+		t.Fatalf("replicas = %d, want 3 (max)", d.Replicas())
+	}
+}
+
+func TestHPAToleranceBandHolds(t *testing.T) {
+	_, d, h, ms, fu := newHPACluster(t, Target{Resource: CPU, AverageUtilization: 80}, 2, 5)
+	d.Scale(2)
+	d.Reconcile(t0())
+	// 168m on a 160m target: ratio 1.05, inside the 10% band.
+	fu.perPod = ResourceList{MilliCPU: 168}
+	ms.Scrape(t0())
+	h.Reconcile(t0())
+	if d.Replicas() != 2 {
+		t.Errorf("replicas = %d, tolerance band ignored", d.Replicas())
+	}
+}
+
+func TestHPAScaleDownWaitsForStabilization(t *testing.T) {
+	_, d, h, ms, fu := newHPACluster(t, Target{Resource: CPU, AverageUtilization: 80}, 1, 3)
+	h.StabilizationWindow = 2 * time.Minute
+	d.Scale(3)
+	d.Reconcile(t0())
+	// One loop at on-target load records a desired of 3 in the history.
+	fu.perPod = ResourceList{MilliCPU: 160}
+	now := t0()
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() != 3 {
+		t.Fatalf("replicas = %d before drop", d.Replicas())
+	}
+	// Load drops sharply: desired becomes 1, but the window holds 3.
+	fu.perPod = ResourceList{MilliCPU: 40}
+	now = now.Add(30 * time.Second)
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() != 3 {
+		t.Fatalf("replicas = %d, scale-down should be stabilized", d.Replicas())
+	}
+	// After the stabilization window passes with consistently low load,
+	// the scale-down applies.
+	for i := 0; i < 6; i++ {
+		now = now.Add(30 * time.Second)
+		ms.Scrape(now)
+		h.Reconcile(now)
+	}
+	if d.Replicas() != 1 {
+		t.Errorf("replicas = %d after stabilization, want 1", d.Replicas())
+	}
+}
+
+func TestHPAMemoryRawTarget(t *testing.T) {
+	// The Figure 21 shape: target 520MB mapped heap per pod.
+	_, d, h, ms, fu := newHPACluster(t, Target{Resource: Memory, AverageValue: 520 << 20}, 1, 3)
+	fu.perPod = ResourceList{MemBytes: 600 << 20}
+	now := t0()
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", d.Replicas())
+	}
+	if r := h.CurrentRatio(); r < 1.1 || r > 1.2 {
+		t.Errorf("ratio = %v", r)
+	}
+}
+
+func TestHPAScaleUpIgnoresStabilization(t *testing.T) {
+	_, d, h, ms, fu := newHPACluster(t, Target{Resource: CPU, AverageUtilization: 80}, 1, 4)
+	// Low, then immediately high: scale-up must not be delayed.
+	fu.perPod = ResourceList{MilliCPU: 40}
+	ms.Scrape(t0())
+	h.Reconcile(t0())
+	fu.perPod = ResourceList{MilliCPU: 320}
+	now := t0().Add(30 * time.Second)
+	ms.Scrape(now)
+	h.Reconcile(now)
+	if d.Replicas() < 2 {
+		t.Errorf("replicas = %d, scale-up was delayed", d.Replicas())
+	}
+}
+
+func TestHPAFormat(t *testing.T) {
+	_, _, h, _, _ := newHPACluster(t, Target{Resource: CPU, AverageUtilization: 80}, 1, 3)
+	row := h.FormatHPA()
+	if !strings.Contains(row, "80% cpu") || !strings.Contains(row, "joiner") {
+		t.Errorf("hpa row = %q", row)
+	}
+	_, _, h2, _, _ := newHPACluster(t, Target{Resource: Memory, AverageValue: 520 << 20}, 1, 3)
+	if row := h2.FormatHPA(); !strings.Contains(row, "520Mi memory") {
+		t.Errorf("hpa row = %q", row)
+	}
+}
+
+func TestManagedHeapDefaultsGrowOnly(t *testing.T) {
+	h, err := NewManagedHeap(DefaultHeapPolicy(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mapped() != 58<<20 {
+		t.Errorf("initial mapped = %d", h.Mapped())
+	}
+	// Live set rises to 400MB then falls to 100MB: with the default
+	// policy the mapped heap ratchets up and stays up.
+	high := h.Observe(400 << 20)
+	if high < 400<<20 {
+		t.Errorf("mapped %d below live set", high)
+	}
+	low := h.Observe(100 << 20)
+	if low < high {
+		t.Errorf("default policy trimmed: %d -> %d", high, low)
+	}
+}
+
+func TestManagedHeapTunedTracksLiveSet(t *testing.T) {
+	h, err := NewManagedHeap(TunedHeapPolicy(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := h.Observe(400 << 20)
+	low := h.Observe(100 << 20)
+	if low >= high {
+		t.Errorf("tuned policy did not trim: %d -> %d", high, low)
+	}
+	// Mapped must stay within [live*1.2, live*1.4] after trimming.
+	if low < int64(float64(100<<20)*1.2) || low > int64(float64(100<<20)*1.4)+1 {
+		t.Errorf("trimmed mapped = %dMi outside policy band", low>>20)
+	}
+}
+
+func TestManagedHeapClampsToXmx(t *testing.T) {
+	h, err := NewManagedHeap(TunedHeapPolicy(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Observe(5 << 30); got != 926<<20 {
+		t.Errorf("mapped = %d, want clamped to 926Mi", got)
+	}
+}
+
+func TestManagedHeapValidation(t *testing.T) {
+	if _, err := NewManagedHeap(TunedHeapPolicy(), 100, 50); err == nil {
+		t.Error("xms > xmx accepted")
+	}
+	if _, err := NewManagedHeap(HeapPolicy{MinFreeRatio: 0.5, MaxFreeRatio: 0.2}, 0, 0); err == nil {
+		t.Error("inverted ratios accepted")
+	}
+}
+
+func TestAutoHealingOnNodeFailure(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(3)
+	started := 0
+	hooks := PodHooks{OnStart: func(p *Pod) (UsageFunc, func()) {
+		started++
+		return func() ResourceList { return ResourceList{} }, func() {}
+	}}
+	d := c.NewDeployment("svc", smallSpec(300, 64), 3, hooks)
+	d.Reconcile(t0())
+	if d.ReadyReplicas() != 3 {
+		t.Fatalf("ready = %d", d.ReadyReplicas())
+	}
+	// Find a node running at least one pod and fail it.
+	var victim *Node
+	for _, n := range c.Nodes() {
+		if len(n.pods) > 0 {
+			victim = n
+			break
+		}
+	}
+	lost := len(victim.pods)
+	if err := c.FailNode(victim.Name); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyReplicas() != 3-lost {
+		t.Fatalf("ready = %d after failing node with %d pods", d.ReadyReplicas(), lost)
+	}
+	// Auto-healing: the next reconcile replaces the lost pods on the
+	// surviving nodes.
+	d.Reconcile(t0().Add(time.Minute))
+	if d.ReadyReplicas() != 3 {
+		t.Errorf("ready = %d after heal, want 3", d.ReadyReplicas())
+	}
+	if started != 3+lost {
+		t.Errorf("started = %d, want %d (replacements are new pods)", started, 3+lost)
+	}
+	// The failed node takes no pods while NotReady.
+	for _, p := range c.Pods() {
+		if p.Node == victim {
+			t.Errorf("pod %s scheduled on failed node", p.Name)
+		}
+	}
+	if !strings.Contains(c.FormatNodes(), "NotReady") {
+		t.Error("node table does not show NotReady")
+	}
+	if err := c.RecoverNode(victim.Name); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Ready() {
+		t.Error("node not recovered")
+	}
+	if err := c.FailNode("nope"); err == nil {
+		t.Error("failing unknown node accepted")
+	}
+	if err := c.RecoverNode("nope"); err == nil {
+		t.Error("recovering unknown node accepted")
+	}
+}
+
+func TestAutoHealingWaitsForCapacity(t *testing.T) {
+	c := New()
+	c.AddNode("n1", ResourceList{MilliCPU: 1000, MemBytes: 1 << 30})
+	c.AddNode("n2", ResourceList{MilliCPU: 1000, MemBytes: 1 << 30})
+	d := c.NewDeployment("svc", smallSpec(700, 64), 2, PodHooks{})
+	d.Reconcile(t0())
+	if d.ReadyReplicas() != 2 {
+		t.Fatal("setup failed")
+	}
+	c.FailNode("n1")
+	d.Reconcile(t0())
+	// The replacement cannot fit on n2 (700m free < 700m... n2 already
+	// hosts one 700m pod): it stays Pending.
+	if d.ReadyReplicas() != 1 {
+		t.Fatalf("ready = %d", d.ReadyReplicas())
+	}
+	c.RecoverNode("n1")
+	if d.ReadyReplicas() != 2 {
+		t.Errorf("ready = %d after node recovery, want 2", d.ReadyReplicas())
+	}
+}
+
+func TestNodeAutoscalerScalesUpOnPending(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(1)
+	a, err := NewNodeAutoscaler(c, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.NewDeployment("svc", smallSpec(700, 64), 3, PodHooks{})
+	d.Reconcile(t0())
+	if d.ReadyReplicas() != 1 {
+		t.Fatalf("ready = %d with one node", d.ReadyReplicas())
+	}
+	// One node per reconcile period.
+	a.Reconcile(t0())
+	if a.ReadyNodes() != 2 || d.ReadyReplicas() != 2 {
+		t.Fatalf("after 1st reconcile: nodes=%d ready=%d", a.ReadyNodes(), d.ReadyReplicas())
+	}
+	a.Reconcile(t0().Add(time.Minute))
+	if a.ReadyNodes() != 3 || d.ReadyReplicas() != 3 {
+		t.Fatalf("after 2nd reconcile: nodes=%d ready=%d", a.ReadyNodes(), d.ReadyReplicas())
+	}
+	// At max: a fourth pending pod does not add nodes.
+	d.Scale(4)
+	d.Reconcile(t0())
+	a.Reconcile(t0().Add(2 * time.Minute))
+	if a.ReadyNodes() != 3 {
+		t.Errorf("scaled past max: %d nodes", a.ReadyNodes())
+	}
+}
+
+func TestNodeAutoscalerScalesDownIdleNodes(t *testing.T) {
+	c := New()
+	c.AddStandardNodes(3)
+	a, _ := NewNodeAutoscaler(c, 1, 3)
+	a.ScaleDownIdle = time.Minute
+	d := c.NewDeployment("svc", smallSpec(700, 64), 3, PodHooks{})
+	d.Reconcile(t0())
+	// Drop to one pod: two nodes become empty.
+	d.Scale(1)
+	d.Reconcile(t0())
+	now := t0()
+	a.Reconcile(now) // marks empty-from
+	if a.ReadyNodes() != 3 {
+		t.Fatal("scaled down immediately")
+	}
+	now = now.Add(2 * time.Minute)
+	a.Reconcile(now) // one node released
+	if a.ReadyNodes() != 2 {
+		t.Fatalf("nodes = %d after idle window", a.ReadyNodes())
+	}
+	a.Reconcile(now.Add(3 * time.Minute))
+	if a.ReadyNodes() != 1 {
+		t.Fatalf("nodes = %d, want min 1", a.ReadyNodes())
+	}
+	// Never below min.
+	a.Reconcile(now.Add(10 * time.Minute))
+	if a.ReadyNodes() != 1 {
+		t.Errorf("scaled below min: %d", a.ReadyNodes())
+	}
+}
+
+func TestNodeAutoscalerValidation(t *testing.T) {
+	c := New()
+	if _, err := NewNodeAutoscaler(c, 0, 3); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := NewNodeAutoscaler(c, 3, 1); err == nil {
+		t.Error("max < min accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PodHooks couple a pod's lifecycle to the system backing it: when the
+// deployment starts a pod, OnStart returns the usage sampler for the
+// metrics server and a stop function invoked at pod deletion. The
+// Figure 20/21 experiments use these hooks to scale the actual engine's
+// joiner group in lock-step with the simulated pods.
+type PodHooks struct {
+	OnStart func(p *Pod) (UsageFunc, func())
+}
+
+// Deployment declaratively maintains Replicas pods from Template, the
+// abstraction the thesis deploys every service with.
+type Deployment struct {
+	Name     string
+	Template PodSpec
+	Hooks    PodHooks
+
+	cluster  *Cluster
+	replicas int
+	pods     []*Pod // creation order
+}
+
+// NewDeployment registers a deployment with the cluster. Reconcile
+// brings up the pods.
+func (c *Cluster) NewDeployment(name string, template PodSpec, replicas int, hooks PodHooks) *Deployment {
+	return &Deployment{
+		Name:     name,
+		Template: template,
+		Hooks:    hooks,
+		cluster:  c,
+		replicas: replicas,
+	}
+}
+
+// Replicas returns the desired replica count.
+func (d *Deployment) Replicas() int { return d.replicas }
+
+// ReadyReplicas returns the number of Running pods.
+func (d *Deployment) ReadyReplicas() int {
+	n := 0
+	for _, p := range d.pods {
+		if p.Phase == PodRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Pods returns the deployment's live pods in creation order.
+func (d *Deployment) Pods() []*Pod { return append([]*Pod(nil), d.pods...) }
+
+// Scale sets the desired replica count; Reconcile applies it.
+func (d *Deployment) Scale(replicas int) {
+	if replicas < 0 {
+		replicas = 0
+	}
+	d.replicas = replicas
+}
+
+// Reconcile creates or deletes pods until the live set matches the
+// desired count (newest pods are removed first, as the ReplicaSet
+// controller prefers). Pods terminated from outside — a failed node —
+// are pruned first and therefore replaced: the auto-healing of §4.5.
+func (d *Deployment) Reconcile(now time.Time) {
+	live := d.pods[:0]
+	for _, p := range d.pods {
+		if p.Phase != PodTerminated {
+			live = append(live, p)
+		}
+	}
+	d.pods = live
+	for len(d.pods) < d.replicas {
+		p := d.cluster.createPod(d.Name, d.Template, now)
+		if d.Hooks.OnStart != nil {
+			p.usageFn, p.stopFn = d.Hooks.OnStart(p)
+		}
+		d.pods = append(d.pods, p)
+	}
+	for len(d.pods) > d.replicas {
+		last := d.pods[len(d.pods)-1]
+		d.pods = d.pods[:len(d.pods)-1]
+		d.cluster.deletePod(last)
+	}
+	d.cluster.retrySchedulePending()
+}
+
+// FormatDeployments renders the deployment table of Figure 17.
+func FormatDeployments(ds []*Deployment) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %-7s %-7s %-30s\n", "NAME", "READY", "UP", "IMAGE")
+	for _, d := range ds {
+		fmt.Fprintf(&sb, "%-24s %d/%-5d %-7s %-30s\n",
+			d.Name, d.ReadyReplicas(), d.replicas, "Yes", d.Template.Image)
+	}
+	return sb.String()
+}
+
+// Service provides a stable name for a labeled set of pods, mirroring
+// the Kubernetes Service abstraction of Figure 16.
+type Service struct {
+	Name      string
+	Selector  map[string]string
+	Port      int
+	ClusterIP string
+	External  string // empty for internal-only services
+	cluster   *Cluster
+}
+
+// NewService registers a service.
+func (c *Cluster) NewService(name string, selector map[string]string, port int, clusterIP, external string) *Service {
+	return &Service{
+		Name: name, Selector: selector, Port: port,
+		ClusterIP: clusterIP, External: external, cluster: c,
+	}
+}
+
+// Endpoints lists the Running pods matching the selector, sorted by
+// name.
+func (s *Service) Endpoints() []*Pod {
+	var out []*Pod
+	for _, p := range s.cluster.Pods() {
+		if p.Phase != PodRunning {
+			continue
+		}
+		match := true
+		for k, v := range s.Selector {
+			if p.Spec.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FormatServices renders the service table of Figure 16.
+func FormatServices(ss []*Service) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-14s %-16s %-12s %6s\n", "NAME", "CLUSTER-IP", "EXTERNAL-IP", "PORT(S)", "ENDPTS")
+	for _, s := range ss {
+		ext := s.External
+		if ext == "" {
+			ext = "<none>"
+		}
+		fmt.Fprintf(&sb, "%-16s %-14s %-16s %-12s %6d\n",
+			s.Name, s.ClusterIP, ext, fmt.Sprintf("%d/TCP", s.Port), len(s.Endpoints()))
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import "fmt"
+
+// HeapPolicy models the JVM parallel-collector footprint policy the
+// thesis spends §5.2 tuning: the collector keeps the mapped heap
+// between live*(1+MinFreeRatio) and live*(1+MaxFreeRatio), but only
+// actually trims unused pages when the time/space trade-off
+// (GCTimeRatio) lets it. With the JVM defaults (ratios 0.40/0.70,
+// GCTimeRatio 99) the heap effectively ratchets up toward -Xmx; with
+// the thesis's tuned flags (0.20/0.40, GCTimeRatio 4) the mapped heap
+// tracks the live set — which is what makes a memory-based autoscaler
+// workable at all (the E9 ablation).
+type HeapPolicy struct {
+	MinFreeRatio float64 // fraction of live data kept as mapped headroom (lower bound)
+	MaxFreeRatio float64 // upper bound before the collector may trim
+	GCTimeRatio  int     // worst-case GC time 1/(1+GCTimeRatio); low values trade time for space
+}
+
+// DefaultHeapPolicy mirrors the JVM defaults: footprint grows and is
+// essentially never returned.
+func DefaultHeapPolicy() HeapPolicy {
+	return HeapPolicy{MinFreeRatio: 0.40, MaxFreeRatio: 0.70, GCTimeRatio: 99}
+}
+
+// TunedHeapPolicy mirrors the thesis's cloud-friendly flags:
+// -XX:MinHeapFreeRatio=20 -XX:MaxHeapFreeRatio=40 -XX:GCTimeRatio=4.
+func TunedHeapPolicy() HeapPolicy {
+	return HeapPolicy{MinFreeRatio: 0.20, MaxFreeRatio: 0.40, GCTimeRatio: 4}
+}
+
+// trims reports whether the policy's time goal leaves room to unmap
+// pages: a GCTimeRatio of 99 (≤1% GC time) makes the collector grow
+// the heap instead of trimming; a low ratio prioritizes footprint.
+func (p HeapPolicy) trims() bool { return p.GCTimeRatio <= 19 }
+
+// ManagedHeap models one JVM's mapped-heap size as a function of its
+// live set, between -Xms and -Xmx.
+type ManagedHeap struct {
+	policy HeapPolicy
+	xms    int64
+	xmx    int64
+	mapped int64
+}
+
+// NewManagedHeap creates a heap with the thesis's default sizing (58 MB
+// minimum, 926 MB maximum) unless overridden.
+func NewManagedHeap(policy HeapPolicy, xms, xmx int64) (*ManagedHeap, error) {
+	if xms <= 0 {
+		xms = 58 << 20
+	}
+	if xmx <= 0 {
+		xmx = 926 << 20
+	}
+	if xms > xmx {
+		return nil, fmt.Errorf("cluster: heap min %d exceeds max %d", xms, xmx)
+	}
+	if policy.MinFreeRatio < 0 || policy.MaxFreeRatio < policy.MinFreeRatio {
+		return nil, fmt.Errorf("cluster: heap free ratios [%v,%v] invalid", policy.MinFreeRatio, policy.MaxFreeRatio)
+	}
+	return &ManagedHeap{policy: policy, xms: xms, xmx: xmx, mapped: xms}, nil
+}
+
+// Observe feeds the current live-set size (the window state of the
+// joiner the pod runs) and returns the resulting mapped-heap size —
+// the number the memory autoscaler sees.
+func (h *ManagedHeap) Observe(live int64) int64 {
+	lo := int64(float64(live) * (1 + h.policy.MinFreeRatio))
+	hi := int64(float64(live) * (1 + h.policy.MaxFreeRatio))
+	switch {
+	case h.mapped < lo:
+		// Map more pages: the collector extends up to the midpoint of
+		// the band so small live-set growth doesn't immediately retrim.
+		h.mapped = (lo + hi) / 2
+	case h.mapped > hi && h.policy.trims():
+		// Unmap down to the lower bound plus min headroom.
+		h.mapped = lo
+	}
+	if h.mapped < h.xms {
+		h.mapped = h.xms
+	}
+	if h.mapped > h.xmx {
+		h.mapped = h.xmx
+	}
+	return h.mapped
+}
+
+// Mapped returns the current mapped-heap size.
+func (h *ManagedHeap) Mapped() int64 { return h.mapped }

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// MetricsServer scrapes pod usage samples (the Heapster role of §5.2).
+type MetricsServer struct {
+	cluster *Cluster
+}
+
+// NewMetricsServer creates the scraper.
+func (c *Cluster) NewMetricsServer() *MetricsServer {
+	return &MetricsServer{cluster: c}
+}
+
+// Scrape refreshes every running pod's usage sample from its UsageFunc.
+func (m *MetricsServer) Scrape(now time.Time) {
+	for _, p := range m.cluster.Pods() {
+		if p.Phase == PodRunning && p.usageFn != nil {
+			p.lastUsage = p.usageFn()
+		}
+	}
+}
+
+// Resource selects which resource an HPA target observes.
+type Resource uint8
+
+// Observable resources.
+const (
+	CPU Resource = iota
+	Memory
+)
+
+// String names the resource as the autoscaling API does.
+func (r Resource) String() string {
+	if r == CPU {
+		return "cpu"
+	}
+	return "memory"
+}
+
+// Target is an HPA metric target: either AverageUtilization (percent of
+// the pod's request, the GA CPU path) or AverageValue (a raw quantity,
+// the v2alpha1 memory path the thesis enabled alpha features for).
+type Target struct {
+	Resource           Resource
+	AverageUtilization int   // percent of request; 0 if AverageValue used
+	AverageValue       int64 // raw millicores or bytes; 0 if utilization used
+}
+
+// HPA is the Horizontal Pod Autoscaler control loop of Figure 19,
+// implementing the documented algorithm:
+//
+//	desired = ceil(current * mean(usage) / target)
+//
+// with a ±10% tolerance band and a scale-down stabilization window (the
+// controller acts on the highest recommendation seen within the
+// window, preventing flapping).
+type HPA struct {
+	Name       string
+	Deployment *Deployment
+	Min, Max   int
+	Target     Target
+	// Tolerance is the no-op band around ratio 1.0 (default 0.1).
+	Tolerance float64
+	// StabilizationWindow delays scale-down (default 3 minutes).
+	StabilizationWindow time.Duration
+
+	recommendations []recommendation
+	lastRatio       float64
+	lastDesired     int
+}
+
+type recommendation struct {
+	at      time.Time
+	desired int
+}
+
+// NewHPA attaches an autoscaler to a deployment.
+func NewHPA(name string, d *Deployment, min, max int, target Target) (*HPA, error) {
+	if min < 1 || max < min {
+		return nil, fmt.Errorf("cluster: HPA bounds [%d,%d] invalid", min, max)
+	}
+	if target.AverageUtilization <= 0 && target.AverageValue <= 0 {
+		return nil, fmt.Errorf("cluster: HPA target needs AverageUtilization or AverageValue")
+	}
+	return &HPA{
+		Name:                name,
+		Deployment:          d,
+		Min:                 min,
+		Max:                 max,
+		Target:              target,
+		Tolerance:           0.1,
+		StabilizationWindow: 3 * time.Minute,
+	}, nil
+}
+
+// usageOf extracts the observed resource from a sample.
+func (h *HPA) usageOf(u ResourceList) float64 {
+	if h.Target.Resource == CPU {
+		return float64(u.MilliCPU)
+	}
+	return float64(u.MemBytes)
+}
+
+// requestOf extracts the requested quantity from the pod template.
+func (h *HPA) requestOf() float64 {
+	req := h.Deployment.Template.Requests
+	if h.Target.Resource == CPU {
+		return float64(req.MilliCPU)
+	}
+	return float64(req.MemBytes)
+}
+
+// CurrentRatio returns the last computed usage/target ratio (for the
+// experiment recorder; 1.0 means exactly on target).
+func (h *HPA) CurrentRatio() float64 { return h.lastRatio }
+
+// Reconcile runs one control-loop period: observe, compute the desired
+// replica count, and scale the deployment (the deployment's own
+// Reconcile then creates/deletes pods).
+func (h *HPA) Reconcile(now time.Time) {
+	pods := h.Deployment.Pods()
+	var sum float64
+	n := 0
+	for _, p := range pods {
+		if p.Phase != PodRunning {
+			continue
+		}
+		sum += h.usageOf(p.Usage())
+		n++
+	}
+	if n == 0 {
+		return // nothing to observe yet
+	}
+	mean := sum / float64(n)
+	var ratio float64
+	if h.Target.AverageUtilization > 0 {
+		req := h.requestOf()
+		if req <= 0 {
+			return
+		}
+		utilization := mean / req * 100
+		ratio = utilization / float64(h.Target.AverageUtilization)
+	} else {
+		ratio = mean / float64(h.Target.AverageValue)
+	}
+	h.lastRatio = ratio
+
+	current := len(pods)
+	desired := current
+	if math.Abs(ratio-1) > h.Tolerance {
+		desired = int(math.Ceil(float64(n) * ratio))
+	}
+	if desired < h.Min {
+		desired = h.Min
+	}
+	if desired > h.Max {
+		desired = h.Max
+	}
+	// Scale-down stabilization: act on the maximum recommendation in
+	// the window, so a transient dip cannot shed pods.
+	h.recommendations = append(h.recommendations, recommendation{at: now, desired: desired})
+	cutoff := now.Add(-h.StabilizationWindow)
+	kept := h.recommendations[:0]
+	stabilized := desired
+	for _, r := range h.recommendations {
+		if r.at.Before(cutoff) {
+			continue
+		}
+		kept = append(kept, r)
+		if r.desired > stabilized {
+			stabilized = r.desired
+		}
+	}
+	h.recommendations = kept
+	if stabilized > desired {
+		desired = stabilized // scale-up passes through, scale-down waits
+	}
+	h.lastDesired = desired
+	if desired != current {
+		h.Deployment.Scale(desired)
+		h.Deployment.Reconcile(now)
+	}
+}
+
+// FormatHPA renders an "kubectl get hpa"-style row.
+func (h *HPA) FormatHPA() string {
+	var target strings.Builder
+	if h.Target.AverageUtilization > 0 {
+		fmt.Fprintf(&target, "%d%% %s", h.Target.AverageUtilization, h.Target.Resource)
+	} else if h.Target.Resource == Memory {
+		fmt.Fprintf(&target, "%dMi %s", h.Target.AverageValue>>20, h.Target.Resource)
+	} else {
+		fmt.Fprintf(&target, "%dm %s", h.Target.AverageValue, h.Target.Resource)
+	}
+	return fmt.Sprintf("%-24s %-18s %-10s %3d %3d %8d",
+		h.Name, h.Deployment.Name, target.String(), h.Min, h.Max, h.Deployment.Replicas())
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeAutoscaler is the VM-level autoscaler of §4.6: GKE scales the
+// *cluster* (VM instances) in addition to the pods within it. The
+// thesis had to disable it under the free-tier quota; the simulator
+// implements the documented behaviour: a node is added when pods stay
+// Pending for lack of capacity, and an empty node is removed after a
+// sustained idle period.
+type NodeAutoscaler struct {
+	cluster  *Cluster
+	min, max int
+	// NodeTemplate shapes added nodes (defaults to n1-standard-1).
+	NodeTemplate ResourceList
+	// ScaleDownIdle is how long a node must stay empty before removal
+	// (default 5 minutes).
+	ScaleDownIdle time.Duration
+
+	nextID    int
+	emptyFrom map[string]time.Time
+}
+
+// NewNodeAutoscaler bounds the cluster between min and max nodes.
+func NewNodeAutoscaler(c *Cluster, min, max int) (*NodeAutoscaler, error) {
+	if min < 1 || max < min {
+		return nil, fmt.Errorf("cluster: node autoscaler bounds [%d,%d] invalid", min, max)
+	}
+	return &NodeAutoscaler{
+		cluster:       c,
+		min:           min,
+		max:           max,
+		NodeTemplate:  ResourceList{MilliCPU: 1000, MemBytes: 3750 << 20},
+		ScaleDownIdle: 5 * time.Minute,
+		emptyFrom:     make(map[string]time.Time),
+	}, nil
+}
+
+// Reconcile runs one control period: add a node if any pod is Pending
+// for lack of capacity, remove a node that has been empty past the idle
+// threshold.
+func (a *NodeAutoscaler) Reconcile(now time.Time) {
+	// Scale up: unschedulable pods and headroom below max.
+	pending := false
+	for _, p := range a.cluster.Pods() {
+		if p.Phase == PodPending {
+			pending = true
+			break
+		}
+	}
+	ready := 0
+	for _, n := range a.cluster.Nodes() {
+		if n.Ready() {
+			ready++
+		}
+	}
+	if pending && ready < a.max {
+		a.nextID++
+		name := fmt.Sprintf("gke-cluster-biclique-auto-%d", a.nextID)
+		a.cluster.AddNode(name, a.NodeTemplate)
+		a.cluster.retrySchedulePending()
+		return // one node per period, like the real autoscaler
+	}
+	// Scale down: a ready node empty for the whole idle window goes
+	// (the cluster keeps the node object; NotReady models deletion).
+	if ready <= a.min {
+		return
+	}
+	for _, n := range a.cluster.Nodes() {
+		if !n.Ready() || len(n.pods) > 0 {
+			delete(a.emptyFrom, n.Name)
+			continue
+		}
+		since, ok := a.emptyFrom[n.Name]
+		if !ok {
+			a.emptyFrom[n.Name] = now
+			continue
+		}
+		if now.Sub(since) >= a.ScaleDownIdle {
+			n.notReady = true // drained and released
+			delete(a.emptyFrom, n.Name)
+			return // one node per period
+		}
+	}
+}
+
+// ReadyNodes counts nodes accepting pods.
+func (a *NodeAutoscaler) ReadyNodes() int {
+	n := 0
+	for _, node := range a.cluster.Nodes() {
+		if node.Ready() {
+			n++
+		}
+	}
+	return n
+}

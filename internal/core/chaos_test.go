@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+)
+
+// TestEngineExactlyOnceUnderRandomScaling is the chaos property test:
+// a random schedule of joiner and router scale operations interleaved
+// with ingestion must never lose or duplicate a join result. It runs a
+// few seeded scenarios; any failure seed reproduces deterministically.
+func TestEngineExactlyOnceUnderRandomScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6} {
+		seed := seed
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pred := predicate.NewEqui(0, 0)
+	col := newCollector()
+	e := startEngine(t, Config{
+		Predicate: pred,
+		Window:    time.Minute,
+		Routers:   2,
+		RJoiners:  2,
+		SJoiners:  2,
+	}, col)
+
+	var rs, ss []*tuple.Tuple
+	seq := uint64(1)
+	ingestBatch := func(n int) {
+		for i := 0; i < n; i++ {
+			ts := int64(len(rs)+len(ss)) * 5
+			key := tuple.Int(rng.Int63n(25))
+			r := tuple.New(tuple.R, seq, ts, key)
+			seq++
+			s := tuple.New(tuple.S, seq, ts, tuple.Int(rng.Int63n(25)))
+			seq++
+			rs, ss = append(rs, r), append(ss, s)
+			if err := e.Ingest(r); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Ingest(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for round := 0; round < 8; round++ {
+		ingestBatch(30)
+		switch rng.Intn(5) {
+		case 0:
+			if err := e.ScaleJoiners(tuple.R, 1+rng.Intn(4)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := e.ScaleJoiners(tuple.S, 1+rng.Intn(4)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := e.ScaleRouters(1 + rng.Intn(3)); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			// Scale both groups in the same round.
+			if err := e.ScaleJoiners(tuple.R, 1+rng.Intn(4)); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.ScaleJoiners(tuple.S, 1+rng.Intn(4)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			// No scaling this round.
+		}
+		// Half the rounds continue ingesting immediately; the others
+		// drain first, exercising both busy and idle transitions.
+		if rng.Intn(2) == 0 {
+			if err := e.Quiesce(15 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Quiesce(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	verifyExactlyOnce(t, col.snapshot(), refJoin(rs, ss, pred, 60_000), "chaos")
+}

@@ -1,0 +1,763 @@
+// Package core wires the join-biclique engine together: router
+// services, the two joiner groups forming the biclique's vertex sets, a
+// broker-backed fabric connecting them, and elastic scale in/out of both
+// tiers without data migration. It is the system the source text calls
+// elastic-biclique and the SIGMOD paper calls BiStream.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/index"
+	"bistream/internal/joiner"
+	"bistream/internal/predicate"
+	"bistream/internal/router"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+	"bistream/internal/vclock"
+	"bistream/internal/window"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Predicate is the join predicate (required).
+	Predicate predicate.Predicate
+	// Window is the time-based sliding window span. Required unless
+	// FullHistory is set.
+	Window time.Duration
+	// FullHistory runs the join over the entire accumulated streams
+	// instead of a window: nothing ever expires, joiner state grows
+	// with the stream, and joiner groups can scale out but not in
+	// (scale-in without migration relies on window drain).
+	FullHistory bool
+	// ArchivePeriod is the chained index's sub-index span P; defaults
+	// to Window/16.
+	ArchivePeriod time.Duration
+	// OrderedIndex selects the joiners' ordered sub-index for non-equi
+	// predicates: index.SkipListKind (default) or index.BTreeKind.
+	OrderedIndex index.OrderedKind
+	// Routers is the number of router instances (default 1).
+	Routers int
+	// RJoiners and SJoiners size the two biclique vertex sets
+	// (default 1 each).
+	RJoiners, SJoiners int
+	// RSubgroups/SSubgroups set the routing strategy per group: 1 =
+	// random (broadcast) routing, equal to the group size = pure hash
+	// partitioning, in between = the subgroup hybrid. Zero selects
+	// automatically: hash for partitionable predicates, random
+	// otherwise.
+	RSubgroups, SSubgroups int
+	// PunctuationInterval paces the ordering protocol's signals
+	// (default 20ms, wall clock).
+	PunctuationInterval time.Duration
+	// Clock supplies the engine's notion of time for statistics and
+	// layout drain tracking (default: wall clock). Tuple timestamps are
+	// set by sources, not the engine.
+	Clock vclock.Clock
+	// Broker connects the services. Nil starts a private in-process
+	// broker; a wire.Client here runs the engine against a remote
+	// brokerd.
+	Broker broker.Client
+	// OnResult, when set, receives every join result synchronously from
+	// the sink and disables the Results channel.
+	OnResult func(tuple.JoinResult)
+	// ResultBuffer sizes the Results channel (default 4096). When the
+	// buffer is full the sink blocks, backpressuring joiners.
+	ResultBuffer int
+	// Unordered disables the tuple ordering protocol (for the Figure 8
+	// anomaly experiment only).
+	Unordered bool
+	// ContRand enables frequency-aware routing for partitionable
+	// predicates: keys whose recent traffic share exceeds HotFraction
+	// scatter their stores across the group (restoring balance under
+	// skew) while their probes broadcast (preserving correctness);
+	// cold keys keep one-copy hash routing.
+	ContRand bool
+	// HotFraction is the promotion threshold (default 0.01).
+	HotFraction float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Predicate == nil {
+		return errors.New("core: Predicate is required")
+	}
+	if c.FullHistory {
+		if c.Window != 0 {
+			return errors.New("core: FullHistory and Window are mutually exclusive")
+		}
+	} else if c.Window <= 0 {
+		return errors.New("core: Window must be positive (or set FullHistory)")
+	}
+	if c.Routers <= 0 {
+		c.Routers = 1
+	}
+	if c.RJoiners <= 0 {
+		c.RJoiners = 1
+	}
+	if c.SJoiners <= 0 {
+		c.SJoiners = 1
+	}
+	if c.RSubgroups == 0 {
+		if c.Predicate.Partitionable() {
+			c.RSubgroups = c.RJoiners
+		} else {
+			c.RSubgroups = 1
+		}
+	}
+	if c.SSubgroups == 0 {
+		if c.Predicate.Partitionable() {
+			c.SSubgroups = c.SJoiners
+		} else {
+			c.SSubgroups = 1
+		}
+	}
+	if c.PunctuationInterval <= 0 {
+		c.PunctuationInterval = router.DefaultPunctuationInterval
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	if c.ResultBuffer <= 0 {
+		c.ResultBuffer = 4096
+	}
+	return nil
+}
+
+// Stats aggregates the engine's counters.
+type Stats struct {
+	Routers      []router.Stats
+	RJoiners     []joiner.Stats
+	SJoiners     []joiner.Stats
+	Results      int64
+	TuplesIn     int64
+	WindowBytes  int64 // total window memory across joiners
+	WindowTuples int
+}
+
+// sealedJoiner is a scaled-in member draining its window before
+// retirement.
+type sealedJoiner struct {
+	svc      *joiner.Service
+	deadline time.Time
+}
+
+// layoutChange is one entry of a relation's layout history. New routers
+// replay the history so their generation tables match the veterans' —
+// a router that only knew the current layout would fan join copies out
+// to the current members only and miss the draining ones, losing
+// results.
+type layoutChange struct {
+	members   []int32
+	subgroups int
+	atTS      int64
+}
+
+// Engine is the running join-biclique system.
+type Engine struct {
+	cfg     Config
+	win     window.Sliding
+	ownB    *broker.Broker // non-nil when we own the in-process broker
+	client  broker.Client
+	results chan tuple.JoinResult
+	hot     *router.HotTracker // shared ContRand tracker, nil if disabled
+
+	mu       sync.Mutex
+	routers  []*router.Service
+	rJoiners []*joiner.Service
+	sJoiners []*joiner.Service
+	sealed   []sealedJoiner
+	nextRtr  int32
+	nextJid  [2]int32
+	seq      uint64
+	tuplesIn int64
+	resultsN int64
+	sinkCons broker.Consumer
+	sinkDone chan struct{}
+	sinkStop chan struct{}
+	started  bool
+	stopped  bool
+
+	// layoutHist records every layout change per relation so new
+	// routers can replay it (see layoutChange).
+	layoutHist [2][]layoutChange
+
+	// Counter residue of retired services, so the count-based Quiesce
+	// accounting stays balanced after scale-in.
+	retiredRouted   int64 // TuplesRouted of removed routers
+	retiredFanout   int64 // JoinFanout of removed routers
+	retiredReceived int64 // Received of retired joiners
+	retiredResults  int64 // Results of retired joiners
+}
+
+// New validates the configuration and assembles an engine. Call Start
+// to begin processing.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if !cfg.Predicate.Partitionable() && (cfg.RSubgroups != 1 || cfg.SSubgroups != 1) {
+		return nil, fmt.Errorf("core: predicate %v requires subgroups=1 (random routing)", cfg.Predicate)
+	}
+	if cfg.RSubgroups < 1 || cfg.RSubgroups > cfg.RJoiners {
+		return nil, fmt.Errorf("core: RSubgroups %d out of range [1,%d]", cfg.RSubgroups, cfg.RJoiners)
+	}
+	if cfg.SSubgroups < 1 || cfg.SSubgroups > cfg.SJoiners {
+		return nil, fmt.Errorf("core: SSubgroups %d out of range [1,%d]", cfg.SSubgroups, cfg.SJoiners)
+	}
+	e := &Engine{
+		cfg: cfg,
+		win: window.Sliding{Span: cfg.Window},
+	}
+	if cfg.ContRand {
+		if !cfg.Predicate.Partitionable() {
+			return nil, fmt.Errorf("core: ContRand requires a partitionable predicate")
+		}
+		hot, err := router.NewHotTracker(router.HotConfig{
+			HotFraction: cfg.HotFraction,
+			Window:      e.win,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.hot = hot
+	}
+	if cfg.Broker != nil {
+		e.client = cfg.Broker
+	} else {
+		e.ownB = broker.New(cfg.Clock)
+		e.client = e.ownB
+	}
+	if cfg.OnResult == nil {
+		e.results = make(chan tuple.JoinResult, cfg.ResultBuffer)
+	}
+	return e, nil
+}
+
+// Start declares the topology and launches routers, joiners and the
+// result sink.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("core: engine already started")
+	}
+	if err := topo.Declare(e.client); err != nil {
+		return err
+	}
+	// Result sink first so no result is dropped.
+	const sinkQ = topo.ResultExchange + ".sink"
+	if err := e.client.DeclareQueue(sinkQ, broker.QueueOptions{}); err != nil {
+		return err
+	}
+	if err := e.client.Bind(sinkQ, topo.ResultExchange, topo.ResultKey); err != nil {
+		return err
+	}
+	cons, err := e.client.Consume(sinkQ, 512, true)
+	if err != nil {
+		return err
+	}
+	e.sinkCons = cons
+	e.sinkDone = make(chan struct{})
+	e.sinkStop = make(chan struct{})
+	go e.sinkLoop(cons)
+
+	// Joiners before routers so layout targets exist.
+	for i := 0; i < e.cfg.RJoiners; i++ {
+		if _, err := e.addJoinerLocked(tuple.R); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < e.cfg.SJoiners; i++ {
+		if _, err := e.addJoinerLocked(tuple.S); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < e.cfg.Routers; i++ {
+		if err := e.addRouterLocked(); err != nil {
+			return err
+		}
+	}
+	e.started = true
+	return nil
+}
+
+func (e *Engine) addJoinerLocked(rel tuple.Relation) (*joiner.Service, error) {
+	id := e.nextJid[rel]
+	e.nextJid[rel]++
+	core, err := joiner.NewCore(joiner.Config{
+		ID:            id,
+		Rel:           rel,
+		Pred:          e.cfg.Predicate,
+		Window:        e.win,
+		FullHistory:   e.cfg.FullHistory,
+		ArchivePeriod: e.cfg.ArchivePeriod,
+		OrderedIndex:  e.cfg.OrderedIndex,
+		Unordered:     e.cfg.Unordered,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc := joiner.NewService(core, e.client)
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	for _, r := range e.routers {
+		svc.AddRouter(r.ID())
+	}
+	if rel == tuple.R {
+		e.rJoiners = append(e.rJoiners, svc)
+	} else {
+		e.sJoiners = append(e.sJoiners, svc)
+	}
+	return svc, nil
+}
+
+func (e *Engine) addRouterLocked() error {
+	id := e.nextRtr
+	e.nextRtr++
+	core, err := router.NewCore(router.Config{
+		ID:     id,
+		Pred:   e.cfg.Predicate,
+		Window: e.win,
+		Hot:    e.hot, // shared across routers so decisions agree
+	})
+	if err != nil {
+		return err
+	}
+	svc := router.NewService(core, e.client, e.cfg.Clock, router.ServiceConfig{
+		PunctuationInterval: e.cfg.PunctuationInterval,
+	})
+	// Register the router with every joiner before it can send.
+	for _, j := range e.allJoinersLocked() {
+		j.AddRouter(id)
+	}
+	nowTS := e.cfg.Clock.Now().UnixMilli()
+	e.ensureHistoryLocked(nowTS)
+	// Replay the layout history so the new router's generation table
+	// covers every draining membership, not just the current one.
+	for _, rel := range []tuple.Relation{tuple.R, tuple.S} {
+		for _, ch := range e.layoutHist[rel] {
+			if err := svc.SetLayout(rel, ch.members, ch.subgroups, ch.atTS); err != nil {
+				return err
+			}
+		}
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	e.routers = append(e.routers, svc)
+	return nil
+}
+
+// ensureHistoryLocked seeds the layout history with the current
+// membership on first use and prunes fully drained entries: an entry is
+// droppable once a successor exists and the successor is itself older
+// than the window (every tuple stored under the entry has expired).
+func (e *Engine) ensureHistoryLocked(nowTS int64) {
+	for _, rel := range []tuple.Relation{tuple.R, tuple.S} {
+		if len(e.layoutHist[rel]) == 0 {
+			e.layoutHist[rel] = append(e.layoutHist[rel], layoutChange{
+				members:   e.memberIDsLocked(rel),
+				subgroups: e.subgroupsLocked(rel),
+				atTS:      nowTS,
+			})
+		}
+		if e.cfg.FullHistory {
+			continue // nothing ever drains
+		}
+		hist := e.layoutHist[rel]
+		cut := 0
+		for cut < len(hist)-1 {
+			// hist[cut] retired at hist[cut+1].atTS; it is drained once
+			// that instant is a full window (+slack) in the past.
+			if nowTS-hist[cut+1].atTS > e.win.SpanMillis()+2000 {
+				cut++
+			} else {
+				break
+			}
+		}
+		if cut > 0 {
+			e.layoutHist[rel] = append(hist[:0:0], hist[cut:]...)
+		}
+	}
+}
+
+// recordLayoutLocked appends a layout change to the history (no-op if
+// identical to the latest entry).
+func (e *Engine) recordLayoutLocked(rel tuple.Relation, nowTS int64) {
+	members := e.memberIDsLocked(rel)
+	subgroups := e.subgroupsLocked(rel)
+	hist := e.layoutHist[rel]
+	if n := len(hist); n > 0 {
+		last := hist[n-1]
+		if last.subgroups == subgroups && equalMembers(last.members, members) {
+			return
+		}
+	}
+	e.layoutHist[rel] = append(hist, layoutChange{members: members, subgroups: subgroups, atTS: nowTS})
+}
+
+func equalMembers(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) allJoinersLocked() []*joiner.Service {
+	out := make([]*joiner.Service, 0, len(e.rJoiners)+len(e.sJoiners)+len(e.sealed))
+	out = append(out, e.rJoiners...)
+	out = append(out, e.sJoiners...)
+	for _, s := range e.sealed {
+		out = append(out, s.svc)
+	}
+	return out
+}
+
+func (e *Engine) joinersLocked(rel tuple.Relation) *[]*joiner.Service {
+	if rel == tuple.R {
+		return &e.rJoiners
+	}
+	return &e.sJoiners
+}
+
+func (e *Engine) memberIDsLocked(rel tuple.Relation) []int32 {
+	js := *e.joinersLocked(rel)
+	ids := make([]int32, len(js))
+	for i, j := range js {
+		ids[i] = j.ID()
+	}
+	return ids
+}
+
+// subgroupsLocked derives the subgroup count for the current group
+// size, preserving the configured strategy: pure hash stays pure hash
+// as the group grows; fixed subgroup counts are clamped to the size.
+func (e *Engine) subgroupsLocked(rel tuple.Relation) int {
+	js := *e.joinersLocked(rel)
+	cfgd := e.cfg.RSubgroups
+	cfgSize := e.cfg.RJoiners
+	if rel == tuple.S {
+		cfgd = e.cfg.SSubgroups
+		cfgSize = e.cfg.SJoiners
+	}
+	n := len(js)
+	if n == 0 {
+		return 1
+	}
+	if cfgd == cfgSize {
+		return n // pure hash tracks the group size
+	}
+	if cfgd > n {
+		return n
+	}
+	return cfgd
+}
+
+// Ingest publishes a raw tuple into the system (the stream-service
+// role). Seq is assigned if zero.
+func (e *Engine) Ingest(t *tuple.Tuple) error {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return errors.New("core: engine not running")
+	}
+	if t.Seq == 0 {
+		e.seq++
+		t.Seq = e.seq
+	}
+	e.tuplesIn++
+	e.mu.Unlock()
+	return e.client.Publish(topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t))
+}
+
+// Results returns the join result channel (nil when OnResult is set).
+func (e *Engine) Results() <-chan tuple.JoinResult { return e.results }
+
+func (e *Engine) sinkLoop(cons broker.Consumer) {
+	defer close(e.sinkDone)
+	for d := range cons.Deliveries() {
+		l, r, err := tuple.UnmarshalPair(d.Body)
+		if err != nil {
+			continue
+		}
+		jr := tuple.NewJoinResult(l, r)
+		e.mu.Lock()
+		e.resultsN++
+		e.mu.Unlock()
+		if e.cfg.OnResult != nil {
+			e.cfg.OnResult(jr)
+		} else {
+			select {
+			case e.results <- jr:
+			case <-e.sinkStop:
+				return // shutting down; unread results are dropped
+			}
+		}
+	}
+}
+
+// ScaleJoiners grows or shrinks one relation's joiner group to n
+// members without migrating data: new members only receive new tuples;
+// removed members stop storing immediately, keep serving join probes
+// while their window drains, and are retired afterwards.
+func (e *Engine) ScaleJoiners(rel tuple.Relation, n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: joiner group must keep at least 1 member")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started || e.stopped {
+		return errors.New("core: engine not running")
+	}
+	js := e.joinersLocked(rel)
+	if e.cfg.FullHistory && n < len(*js) {
+		return fmt.Errorf("core: a full-history join cannot scale in without migration")
+	}
+	for len(*js) < n {
+		if _, err := e.addJoinerLocked(rel); err != nil {
+			return err
+		}
+	}
+	now := e.cfg.Clock.Now()
+	for len(*js) > n {
+		last := (*js)[len(*js)-1]
+		*js = (*js)[:len(*js)-1]
+		e.sealed = append(e.sealed, sealedJoiner{
+			svc:      last,
+			deadline: now.Add(e.cfg.Window + 2*time.Second),
+		})
+	}
+	return e.pushLayoutsLocked(now.UnixMilli())
+}
+
+// ScaleRouters grows or shrinks the router tier to n instances.
+func (e *Engine) ScaleRouters(n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: router tier must keep at least 1 instance")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started || e.stopped {
+		return errors.New("core: engine not running")
+	}
+	for len(e.routers) < n {
+		if err := e.addRouterLocked(); err != nil {
+			return err
+		}
+	}
+	for len(e.routers) > n {
+		last := e.routers[len(e.routers)-1]
+		e.routers = e.routers[:len(e.routers)-1]
+		// Retire broadcasts the router's tombstone behind everything it
+		// already sent, so joiners unregister its frontier exactly when
+		// its last envelope has been processed.
+		last.Retire()
+		st := last.Stats()
+		e.retiredRouted += st.TuplesRouted
+		e.retiredFanout += st.JoinFanout
+	}
+	return nil
+}
+
+// pushLayoutsLocked propagates the current membership to every router
+// and records it in the history replayed into future routers.
+func (e *Engine) pushLayoutsLocked(nowTS int64) error {
+	e.ensureHistoryLocked(nowTS)
+	e.recordLayoutLocked(tuple.R, nowTS)
+	e.recordLayoutLocked(tuple.S, nowTS)
+	for _, r := range e.routers {
+		if err := r.SetLayout(tuple.R, e.memberIDsLocked(tuple.R), e.subgroupsLocked(tuple.R), nowTS); err != nil {
+			return err
+		}
+		if err := r.SetLayout(tuple.S, e.memberIDsLocked(tuple.S), e.subgroupsLocked(tuple.S), nowTS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reap retires sealed joiners whose drain deadline has passed. It is
+// called from Stats and may be called directly; it returns how many
+// members were retired.
+func (e *Engine) Reap() int {
+	e.mu.Lock()
+	now := e.cfg.Clock.Now()
+	var retire []*joiner.Service
+	keep := e.sealed[:0]
+	for _, s := range e.sealed {
+		if now.After(s.deadline) {
+			retire = append(retire, s.svc)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	e.sealed = keep
+	e.mu.Unlock()
+	for _, svc := range retire {
+		st := svc.Stats()
+		svc.Retire()
+		e.mu.Lock()
+		e.retiredReceived += st.Received
+		e.retiredResults += st.Results
+		e.mu.Unlock()
+	}
+	return len(retire)
+}
+
+// NumJoiners returns the active member count of one group (excluding
+// sealed, draining members).
+func (e *Engine) NumJoiners(rel tuple.Relation) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(*e.joinersLocked(rel))
+}
+
+// NumRouters returns the router instance count.
+func (e *Engine) NumRouters() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.routers)
+}
+
+// JoinerStats returns per-member stats of one group.
+func (e *Engine) JoinerStats(rel tuple.Relation) []joiner.Stats {
+	e.mu.Lock()
+	js := append([]*joiner.Service(nil), *e.joinersLocked(rel)...)
+	e.mu.Unlock()
+	out := make([]joiner.Stats, len(js))
+	for i, j := range js {
+		out[i] = j.Stats()
+	}
+	return out
+}
+
+// Stats aggregates counters across the engine.
+func (e *Engine) Stats() Stats {
+	e.Reap()
+	e.mu.Lock()
+	routers := append([]*router.Service(nil), e.routers...)
+	rjs := append([]*joiner.Service(nil), e.rJoiners...)
+	sjs := append([]*joiner.Service(nil), e.sJoiners...)
+	st := Stats{Results: e.resultsN, TuplesIn: e.tuplesIn}
+	e.mu.Unlock()
+	for _, r := range routers {
+		st.Routers = append(st.Routers, r.Stats())
+	}
+	for _, j := range rjs {
+		js := j.Stats()
+		st.RJoiners = append(st.RJoiners, js)
+		st.WindowBytes += js.MemBytes
+		st.WindowTuples += js.WindowLen
+	}
+	for _, j := range sjs {
+		js := j.Stats()
+		st.SJoiners = append(st.SJoiners, js)
+		st.WindowBytes += js.MemBytes
+		st.WindowTuples += js.WindowLen
+	}
+	return st
+}
+
+// Quiesce blocks until every queue is drained and every joiner's
+// reorder buffer is empty, or the timeout elapses. Punctuation keeps
+// flowing on the wall clock, so buffered envelopes eventually release.
+func (e *Engine) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.quiet() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: quiesce timed out after %v", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// quiet checks drain by counting rather than by queue emptiness,
+// because punctuation signals keep queues momentarily non-empty at all
+// times: the system is quiet when every ingested tuple has been routed,
+// every routed copy has reached a joiner, no joiner is buffering, and
+// every emitted result has reached the sink.
+func (e *Engine) quiet() bool {
+	e.mu.Lock()
+	routers := append([]*router.Service(nil), e.routers...)
+	joiners := e.allJoinersLocked()
+	tuplesIn := e.tuplesIn
+	resultsN := e.resultsN
+	routed, fanout := e.retiredRouted, e.retiredFanout
+	received, emitted := e.retiredReceived, e.retiredResults
+	e.mu.Unlock()
+	for _, r := range routers {
+		st := r.Stats()
+		routed += st.TuplesRouted
+		fanout += st.JoinFanout
+	}
+	if routed != tuplesIn {
+		return false
+	}
+	var pending int
+	for _, j := range joiners {
+		st := j.Stats()
+		received += st.Received
+		emitted += st.Results
+		pending += st.Pending
+	}
+	if pending > 0 {
+		return false
+	}
+	if received != routed+fanout {
+		return false
+	}
+	return emitted == resultsN
+}
+
+// Stop halts all services. Buffered envelopes are flushed through the
+// joiners so no already-ingested result is silently dropped, then the
+// engine's own broker (if any) is closed.
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return nil
+	}
+	e.stopped = true
+	routers := e.routers
+	joiners := e.allJoinersLocked()
+	sink := e.sinkCons
+	sinkDone := e.sinkDone
+	e.mu.Unlock()
+
+	for _, r := range routers {
+		r.Stop() // emits a final punctuation
+	}
+	// Give joiners a moment to consume the final punctuations, then
+	// stop them and flush whatever remains.
+	_ = e.Quiesce(500 * time.Millisecond)
+	for _, j := range joiners {
+		j.Stop()
+		j.Flush() // release anything still gated by the protocol
+	}
+	if sink != nil {
+		sink.Cancel()
+		close(e.sinkStop)
+		<-sinkDone
+	}
+	if e.results != nil {
+		close(e.results)
+	}
+	if e.ownB != nil {
+		return e.ownB.Close()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bistream/internal/index"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// ChainConfig parameterizes E5, the chained in-memory index experiment
+// behind Figure 5: the same insert/probe/expire workload runs against
+// chained indexes with a sweep of archive periods P and against the
+// monolithic single-index baseline with tuple-at-a-time eviction.
+type ChainConfig struct {
+	// Tuples per run (half stored, half probing).
+	Tuples int
+	// WindowSpan is the sliding window.
+	WindowSpan time.Duration
+	// StepMS is the event-time gap between consecutive tuples.
+	StepMS int64
+	// Keys is the join-attribute domain.
+	Keys int64
+	// Periods are the archive periods to sweep, as fractions of the
+	// window (e.g. 1/64 … 1).
+	Periods []float64
+}
+
+// DefaultChainConfig sweeps P from W/64 to W.
+func DefaultChainConfig() ChainConfig {
+	return ChainConfig{
+		Tuples:     400_000,
+		WindowSpan: 10 * time.Second,
+		StepMS:     1,
+		Keys:       1000,
+		Periods:    []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 1},
+	}
+}
+
+// ChainRow is one measured configuration.
+type ChainRow struct {
+	Label      string  // "P=W/16" or "flat"
+	PeriodMS   int64   // 0 for flat
+	NsPerOp    float64 // wall time per input tuple
+	SubIndexes int     // live sub-indexes at the end (chained only)
+	Dropped    int64   // tuples discarded over the run
+	FinalLen   int     // live tuples at the end
+	MemBytes   int64
+}
+
+// RunChainSweep executes E5.
+func RunChainSweep(cfg ChainConfig) ([]ChainRow, error) {
+	if cfg.Tuples <= 0 || len(cfg.Periods) == 0 {
+		return nil, fmt.Errorf("experiments: bad chain config")
+	}
+	win := window.Sliding{Span: cfg.WindowSpan}
+	pred := predicate.NewEqui(0, 0)
+	var rows []ChainRow
+	for _, frac := range cfg.Periods {
+		periodMS := int64(float64(win.SpanMillis()) * frac)
+		if periodMS <= 0 {
+			return nil, fmt.Errorf("experiments: period fraction %v too small", frac)
+		}
+		idx, err := index.NewChained(index.ForPredicate(pred, tuple.R), periodMS, win)
+		if err != nil {
+			return nil, err
+		}
+		dur := runChainWorkload(cfg, pred,
+			idx.Insert,
+			func(ts int64) { idx.Expire(ts) },
+			func(plan predicate.Plan, emit func(*tuple.Tuple) bool) { idx.Probe(plan, emit) },
+		)
+		rows = append(rows, ChainRow{
+			Label:      fmt.Sprintf("P=W*%.4g", frac),
+			PeriodMS:   periodMS,
+			NsPerOp:    float64(dur.Nanoseconds()) / float64(cfg.Tuples),
+			SubIndexes: idx.NumSubIndexes(),
+			Dropped:    idx.Dropped(),
+			FinalLen:   idx.Len(),
+			MemBytes:   idx.MemBytes(),
+		})
+	}
+	// Baseline: one monolithic index, tuple-level eviction.
+	flat := index.NewFlat(0, win)
+	dur := runChainWorkload(cfg, pred,
+		flat.Insert,
+		func(ts int64) { flat.Expire(ts) },
+		func(plan predicate.Plan, emit func(*tuple.Tuple) bool) { flat.Probe(plan, emit) },
+	)
+	rows = append(rows, ChainRow{
+		Label:    "flat (tuple-level)",
+		NsPerOp:  float64(dur.Nanoseconds()) / float64(cfg.Tuples),
+		Dropped:  flat.Dropped(),
+		FinalLen: flat.Len(),
+		MemBytes: flat.MemBytes(),
+	})
+	return rows, nil
+}
+
+// runChainWorkload alternates stores and probes over the index under
+// test and returns the elapsed wall time.
+func runChainWorkload(
+	cfg ChainConfig,
+	pred predicate.Equi,
+	insert func(*tuple.Tuple),
+	expire func(int64),
+	probe func(predicate.Plan, func(*tuple.Tuple) bool),
+) time.Duration {
+	start := time.Now()
+	for i := 0; i < cfg.Tuples; i++ {
+		ts := int64(i) * cfg.StepMS
+		key := tuple.Int(int64(i) % cfg.Keys)
+		if i%2 == 0 {
+			insert(tuple.New(tuple.R, uint64(i), ts, key))
+			continue
+		}
+		probeT := tuple.New(tuple.S, uint64(i), ts, key)
+		expire(ts)
+		n := 0
+		probe(pred.Plan(probeT), func(*tuple.Tuple) bool { n++; return true })
+	}
+	return time.Since(start)
+}
+
+// FormatChainRows renders the E5 table.
+func FormatChainRows(rows []ChainRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %10s %10s %10s %10s %10s\n",
+		"index", "ns/op", "subidx", "dropped", "live", "MiB")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-20s %10.0f %10d %10d %10d %10.1f\n",
+			r.Label, r.NsPerOp, r.SubIndexes, r.Dropped, r.FinalLen,
+			float64(r.MemBytes)/(1<<20))
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bistream/internal/cluster"
+)
+
+// HeapAblationRow is one policy's outcome in E9: the §5.2 JVM-flags
+// ablation. With the default footprint policy the mapped heap ratchets
+// toward -Xmx and never returns memory, so a memory-based autoscaler
+// sees a saturated, meaningless signal; the thesis's tuned flags make
+// the mapped heap track the live set and the autoscaler becomes
+// responsive in both directions.
+type HeapAblationRow struct {
+	Policy        string
+	ReplicaPath   []int
+	PeakMemMB     float64
+	FinalMemMB    float64
+	ScaledDown    bool    // did the run ever release a pod?
+	MemRecovered  bool    // did the memory signal ever decrease materially?
+	PinnedHighPct float64 // share of samples within 5% of the peak
+}
+
+// RunHeapAblation executes E9: the Figure 21 workload under the tuned
+// and the default JVM footprint policies.
+func RunHeapAblation(base AutoscaleConfig) ([]HeapAblationRow, error) {
+	policies := []struct {
+		name   string
+		policy cluster.HeapPolicy
+	}{
+		{"tuned (Min=20,Max=40,GCTime=4)", cluster.TunedHeapPolicy()},
+		{"default (Min=40,Max=70,GCTime=99)", cluster.DefaultHeapPolicy()},
+	}
+	var rows []HeapAblationRow
+	for _, p := range policies {
+		cfg := base
+		cfg.HeapPolicy = p.policy
+		res, err := RunAutoscale(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("heap ablation %q: %w", p.name, err)
+		}
+		row := HeapAblationRow{
+			Policy:      p.name,
+			ReplicaPath: res.ReplicaPath,
+			PeakMemMB:   res.PeakMemMB,
+			FinalMemMB:  res.FinalMemMB,
+		}
+		for i := 1; i < len(res.ReplicaPath); i++ {
+			if res.ReplicaPath[i] < res.ReplicaPath[i-1] {
+				row.ScaledDown = true
+			}
+		}
+		series := res.Recorder.Series("mem_mb")
+		high := 0
+		for _, pt := range series {
+			if pt.V >= res.PeakMemMB*0.95 {
+				high++
+			}
+		}
+		if len(series) > 0 {
+			row.PinnedHighPct = float64(high) / float64(len(series)) * 100
+		}
+		row.MemRecovered = res.FinalMemMB < res.PeakMemMB*0.9
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHeapAblation renders the E9 comparison.
+func FormatHeapAblation(rows []HeapAblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %-14s %9s %9s %10s %10s\n",
+		"policy", "replica path", "peak MB", "final MB", "recovers", "pinned%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-36s %-14v %9.0f %9.0f %10v %9.0f%%\n",
+			r.Policy, r.ReplicaPath, r.PeakMemMB, r.FinalMemMB, r.MemRecovered, r.PinnedHighPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"bistream/internal/matrix"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// ModelRow is one row of the E3 model-comparison table (§2.4.1): for a
+// cluster of p units, join-biclique with random routing sends each
+// tuple to ~p/2+1 units but stores it once, while the √p×√p join-matrix
+// sends and stores √p copies.
+type ModelRow struct {
+	Units              int
+	BicliqueCopies     float64 // unit-level copies per tuple
+	MatrixCopies       float64
+	BicliqueStored     int // live stored tuples (copies included)
+	MatrixStored       int
+	BicliqueMemBytes   int64
+	MatrixMemBytes     int64
+	BicliqueResults    int64
+	MatrixResults      int64
+	AnalyticBiclique   float64 // p/2 + 1
+	AnalyticMatrix     float64 // √p
+	BicliqueNsPerTuple float64
+	MatrixNsPerTuple   float64
+}
+
+// ModelComparisonConfig parameterizes E3.
+type ModelComparisonConfig struct {
+	// UnitCounts are the cluster sizes p; each must have an integer √p
+	// so the matrix is square, as §2.4.1's analysis assumes.
+	UnitCounts []int
+	// Tuples is the number of input tuples per run.
+	Tuples int
+	// Keys is the join-attribute domain size.
+	Keys int64
+	// WindowSpan is the sliding window.
+	WindowSpan time.Duration
+	// Band selects the non-equi (band, width 1) predicate forcing the
+	// random strategy §2.4.1's analysis assumes; false uses an
+	// equi-join with random routing for the same effect.
+	Band bool
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultModelComparisonConfig mirrors the analysis's setting: equal
+// relation sizes, random routing, p ∈ {4, 16, 36, 64}.
+func DefaultModelComparisonConfig() ModelComparisonConfig {
+	return ModelComparisonConfig{
+		UnitCounts: []int{4, 16, 36, 64},
+		Tuples:     20000,
+		Keys:       5000,
+		WindowSpan: time.Minute,
+		Band:       true,
+		Seed:       1,
+	}
+}
+
+// RunModelComparison executes E3: the same workload through a
+// join-biclique (random routing, p/2 + p/2 units) and a join-matrix
+// (√p × √p), measuring per-tuple communication, storage replication,
+// memory and result counts.
+func RunModelComparison(cfg ModelComparisonConfig) ([]ModelRow, error) {
+	if len(cfg.UnitCounts) == 0 {
+		return nil, fmt.Errorf("experiments: no unit counts")
+	}
+	win := window.Sliding{Span: cfg.WindowSpan}
+	var rows []ModelRow
+	for _, p := range cfg.UnitCounts {
+		side := int(math.Round(math.Sqrt(float64(p))))
+		if side*side != p || p < 4 {
+			return nil, fmt.Errorf("experiments: unit count %d is not a square >= 4", p)
+		}
+		var pred predicate.Predicate = predicate.NewEqui(0, 0)
+		if cfg.Band {
+			pred = predicate.NewBand(0, 0, 1)
+		}
+		dR, dS := 1, 1 // random routing on both groups
+
+		bic, err := NewSyncBiclique(pred, win, p/2, p/2, dR, dS)
+		if err != nil {
+			return nil, err
+		}
+		mat, err := matrix.New(matrix.Config{Pred: pred, Window: win, Rows: side, Cols: side})
+		if err != nil {
+			return nil, err
+		}
+
+		tuples := modelWorkload(cfg.Tuples, cfg.Keys, cfg.Seed)
+		start := time.Now()
+		for _, t := range tuples {
+			if err := bic.Process(t, nil); err != nil {
+				return nil, err
+			}
+		}
+		bicDur := time.Since(start)
+		start = time.Now()
+		var matResults int64
+		for _, t := range tuples {
+			mat.Process(t, func(tuple.JoinResult) { matResults++ })
+		}
+		matDur := time.Since(start)
+
+		bs := bic.Stats()
+		ms := mat.Stats()
+		rows = append(rows, ModelRow{
+			Units:              p,
+			BicliqueCopies:     bic.CopiesPerTuple(),
+			MatrixCopies:       mat.CopiesPerTuple(),
+			BicliqueStored:     bs.StoredTuples,
+			MatrixStored:       ms.StoredTuples,
+			BicliqueMemBytes:   bs.MemBytes,
+			MatrixMemBytes:     ms.MemBytes,
+			BicliqueResults:    bs.Results,
+			MatrixResults:      ms.Results,
+			AnalyticBiclique:   float64(p)/2 + 1,
+			AnalyticMatrix:     math.Sqrt(float64(p)),
+			BicliqueNsPerTuple: float64(bicDur.Nanoseconds()) / float64(len(tuples)),
+			MatrixNsPerTuple:   float64(matDur.Nanoseconds()) / float64(len(tuples)),
+		})
+	}
+	return rows, nil
+}
+
+// modelWorkload builds the equal-sized interleaved relations §2.4.1
+// assumes.
+func modelWorkload(n int, keys int64, seed int64) []*tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		rel := tuple.R
+		if i%2 == 1 {
+			rel = tuple.S
+		}
+		out = append(out, tuple.New(rel, uint64(i+1), int64(i), tuple.Int(rng.Int63n(keys))))
+	}
+	return out
+}
+
+// FormatModelRows renders the E3 table.
+func FormatModelRows(rows []ModelRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%5s | %21s | %21s | %23s | %19s\n",
+		"p", "copies/tuple (bic/mat)", "analytic (p/2+1 / √p)", "stored tuples (bic/mat)", "mem MiB (bic/mat)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%5d | %9.1f / %9.1f | %9.1f / %9.1f | %10d / %10d | %8.1f / %8.1f\n",
+			r.Units,
+			r.BicliqueCopies, r.MatrixCopies,
+			r.AnalyticBiclique, r.AnalyticMatrix,
+			r.BicliqueStored, r.MatrixStored,
+			float64(r.BicliqueMemBytes)/(1<<20), float64(r.MatrixMemBytes)/(1<<20))
+	}
+	return sb.String()
+}

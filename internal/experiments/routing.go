@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"bistream/internal/predicate"
+	"bistream/internal/router"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+	"bistream/internal/workload"
+)
+
+// RoutingConfig parameterizes E6, the §3.2 routing-strategy comparison:
+// random (broadcast), subgroup hybrid and pure hash routing under
+// uniform and skewed key distributions, measuring the communication
+// cost (copies per tuple) and the load balance across joiners.
+type RoutingConfig struct {
+	// Joiners per relation group.
+	Joiners int
+	// Tuples per run.
+	Tuples int
+	// Keys is the attribute domain.
+	Keys int64
+	// ZipfS is the skew exponent for the skewed runs (>1).
+	ZipfS float64
+	// WindowSpan is the sliding window.
+	WindowSpan time.Duration
+	// Seed drives the key draws.
+	Seed int64
+}
+
+// DefaultRoutingConfig uses 8 joiners per side.
+func DefaultRoutingConfig() RoutingConfig {
+	return RoutingConfig{
+		Joiners:    8,
+		Tuples:     100_000,
+		Keys:       1000,
+		ZipfS:      1.4,
+		WindowSpan: 10 * time.Second,
+		Seed:       6,
+	}
+}
+
+// RoutingRow is one (strategy, distribution) measurement.
+type RoutingRow struct {
+	Strategy       string
+	Distribution   string
+	Subgroups      int
+	CopiesPerTuple float64
+	// Imbalance is max/mean of per-joiner processed envelopes; 1.0 is
+	// perfect balance.
+	Imbalance float64
+	// Comparisons is the total probe work, a proxy for processing cost.
+	Comparisons int64
+	Results     int64
+}
+
+// RunRoutingStrategies executes E6.
+func RunRoutingStrategies(cfg RoutingConfig) ([]RoutingRow, error) {
+	if cfg.Joiners < 2 || cfg.Tuples <= 0 {
+		return nil, fmt.Errorf("experiments: bad routing config")
+	}
+	win := window.Sliding{Span: cfg.WindowSpan}
+	strategies := []struct {
+		name     string
+		d        int
+		contRand bool
+	}{
+		{"random", 1, false},
+		{"subgroup", subgroupCount(cfg.Joiners), false},
+		{"hash", cfg.Joiners, false},
+		{"contrand", cfg.Joiners, true},
+	}
+	dists := []struct {
+		name string
+		make func() (workload.KeyDist, error)
+	}{
+		{"uniform", func() (workload.KeyDist, error) { return workload.Uniform{N: cfg.Keys}, nil }},
+		{"zipf", func() (workload.KeyDist, error) {
+			return workload.NewZipf(rand.New(rand.NewSource(cfg.Seed)), cfg.Keys, cfg.ZipfS)
+		}},
+	}
+	var rows []RoutingRow
+	for _, dist := range dists {
+		for _, strat := range strategies {
+			kd, err := dist.make()
+			if err != nil {
+				return nil, err
+			}
+			var opts []SyncOption
+			if strat.contRand {
+				hot, err := router.NewHotTracker(router.HotConfig{Window: win})
+				if err != nil {
+					return nil, err
+				}
+				opts = append(opts, WithHotTracker(hot))
+			}
+			sb, err := NewSyncBiclique(predicate.NewEqui(0, 0), win,
+				cfg.Joiners, cfg.Joiners, strat.d, strat.d, opts...)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + 100))
+			for i := 0; i < cfg.Tuples; i++ {
+				rel := tuple.R
+				if i%2 == 1 {
+					rel = tuple.S
+				}
+				t := tuple.New(rel, uint64(i+1), int64(i), tuple.Int(kd.Next(rng)))
+				if err := sb.Process(t, nil); err != nil {
+					return nil, err
+				}
+			}
+			st := sb.Stats()
+			rows = append(rows, RoutingRow{
+				Strategy:       strat.name,
+				Distribution:   dist.name,
+				Subgroups:      strat.d,
+				CopiesPerTuple: sb.CopiesPerTuple(),
+				Imbalance:      imbalance(sb.PerJoinerLoad()),
+				Comparisons:    st.Comparisons,
+				Results:        st.Results,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// subgroupCount picks a middle subgroup count (≈√n).
+func subgroupCount(n int) int {
+	d := 1
+	for d*d < n {
+		d++
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// imbalance returns max/mean over the loads; 0 if empty.
+func imbalance(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(sum) / float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
+// FormatRoutingRows renders the E6 table.
+func FormatRoutingRows(rows []RoutingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %-9s %5s %14s %10s %13s %10s\n",
+		"strategy", "keys", "d", "copies/tuple", "imbalance", "comparisons", "results")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %-9s %5d %14.2f %10.2f %13d %10d\n",
+			r.Strategy, r.Distribution, r.Subgroups, r.CopiesPerTuple,
+			r.Imbalance, r.Comparisons, r.Results)
+	}
+	return sb.String()
+}

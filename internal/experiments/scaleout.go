@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bistream/internal/core"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/workload"
+)
+
+// ScaleOutConfig parameterizes E8, the throughput-vs-cluster-size
+// experiment (the headline evaluation of the SIGMOD system): a fixed
+// workload is pushed through the full asynchronous engine at increasing
+// joiner counts, for both the hash-routed equi-join and the
+// broadcast-routed band join.
+type ScaleOutConfig struct {
+	// JoinerCounts are the per-relation group sizes to sweep.
+	JoinerCounts []int
+	// Tuples is the workload size per run.
+	Tuples int
+	// Keys is the attribute domain.
+	Keys int64
+	// WindowSpan is the sliding window.
+	WindowSpan time.Duration
+	// Routers is the router-tier size.
+	Routers int
+	// Seed drives the workload.
+	Seed int64
+}
+
+// DefaultScaleOutConfig sweeps 1..8 joiners per relation.
+func DefaultScaleOutConfig() ScaleOutConfig {
+	return ScaleOutConfig{
+		JoinerCounts: []int{1, 2, 4, 8},
+		Tuples:       60_000,
+		Keys:         50_000,
+		WindowSpan:   time.Minute,
+		Routers:      2,
+		Seed:         12,
+	}
+}
+
+// ScaleOutRow is one (predicate, joiners) measurement.
+type ScaleOutRow struct {
+	Predicate string
+	Joiners   int // per relation
+	TuplesPer float64
+	Results   int64
+	WallMS    float64
+}
+
+// RunScaleOut executes E8.
+func RunScaleOut(cfg ScaleOutConfig) ([]ScaleOutRow, error) {
+	if len(cfg.JoinerCounts) == 0 || cfg.Tuples <= 0 {
+		return nil, fmt.Errorf("experiments: bad scale-out config")
+	}
+	preds := []struct {
+		name string
+		pred predicate.Predicate
+	}{
+		{"equi (hash)", predicate.NewEqui(0, 0)},
+		{"band (random)", predicate.NewBand(0, 0, 0.5)},
+	}
+	var rows []ScaleOutRow
+	for _, pd := range preds {
+		for _, n := range cfg.JoinerCounts {
+			row, err := runScaleOutOnce(cfg, pd.name, pd.pred, n)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runScaleOutOnce(cfg ScaleOutConfig, name string, pred predicate.Predicate, joiners int) (ScaleOutRow, error) {
+	var results atomic.Int64
+	eng, err := core.New(core.Config{
+		Predicate:           pred,
+		Window:              cfg.WindowSpan,
+		Routers:             cfg.Routers,
+		RJoiners:            joiners,
+		SJoiners:            joiners,
+		PunctuationInterval: 2 * time.Millisecond,
+		OnResult:            func(tuple.JoinResult) { results.Add(1) },
+	})
+	if err != nil {
+		return ScaleOutRow{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return ScaleOutRow{}, err
+	}
+	defer eng.Stop()
+
+	gen, err := workload.New(workload.Config{
+		Profile: workload.RateProfile{{From: 0, TuplesPerSec: 1}},
+		Keys:    workload.Uniform{N: cfg.Keys},
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return ScaleOutRow{}, err
+	}
+	// Event time advances 1ms per tuple so the window stays full but
+	// bounded.
+	origin := time.Unix(0, 0)
+	batch := make([]*tuple.Tuple, 0, cfg.Tuples)
+	for i := 0; i < cfg.Tuples; i++ {
+		batch = append(batch, gen.Emit(origin.Add(time.Duration(i)*time.Millisecond), 1)...)
+	}
+	start := time.Now()
+	for _, t := range batch {
+		if err := eng.Ingest(t); err != nil {
+			return ScaleOutRow{}, err
+		}
+	}
+	if err := eng.Quiesce(2 * time.Minute); err != nil {
+		return ScaleOutRow{}, err
+	}
+	wall := time.Since(start)
+	return ScaleOutRow{
+		Predicate: name,
+		Joiners:   joiners,
+		TuplesPer: float64(cfg.Tuples) / wall.Seconds(),
+		Results:   results.Load(),
+		WallMS:    float64(wall.Milliseconds()),
+	}, nil
+}
+
+// FormatScaleOutRows renders the E8 table.
+func FormatScaleOutRows(rows []ScaleOutRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %8s %14s %10s %10s\n", "predicate", "joiners", "tuples/s", "results", "wall ms")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %8d %14.0f %10d %10.0f\n",
+			r.Predicate, r.Joiners, r.TuplesPer, r.Results, r.WallMS)
+	}
+	return sb.String()
+}

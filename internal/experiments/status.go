@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/cluster"
+	"bistream/internal/core"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+)
+
+// RunStatus reproduces E7, the deployment snapshots of Figures 16-18:
+// it stands up the default topology (one broker, two routers, two
+// joiners per relation) in a simulated cluster, runs a burst of tuples
+// through the real engine, and renders the services, deployments, HPA
+// and broker-queue tables the way the Kubernetes dashboard and RabbitMQ
+// management UI show them in the text.
+func RunStatus() (string, error) {
+	// The simulated cluster of Figure 14: 8 × n1-standard-1.
+	cl := cluster.New()
+	cl.AddStandardNodes(8)
+	spec := func(name string, cpu int64) cluster.PodSpec {
+		return cluster.PodSpec{
+			Image:    "eangelog/" + name + "-service",
+			Requests: cluster.ResourceList{MilliCPU: cpu, MemBytes: 256 << 20},
+			Labels:   map[string]string{"run": "biclique-" + name},
+		}
+	}
+	now := time.Unix(0, 0).UTC()
+	rabbit := cl.NewDeployment("biclique-rabbitmq", spec("rabbitmq", 100), 1, cluster.PodHooks{})
+	routerDep := cl.NewDeployment("biclique-router", spec("router", 200), 2, cluster.PodHooks{})
+	joinerR := cl.NewDeployment("biclique-joiner-r", spec("join-r-processing", 200), 2, cluster.PodHooks{})
+	joinerS := cl.NewDeployment("biclique-joiner-s", spec("join-s-processing", 200), 2, cluster.PodHooks{})
+	deployments := []*cluster.Deployment{joinerR, joinerS, rabbit, routerDep}
+	for _, d := range deployments {
+		d.Reconcile(now)
+	}
+	services := []*cluster.Service{
+		cl.NewService("rabbitmq", map[string]string{"run": "biclique-rabbitmq"}, 5672, "10.3.249.77", ""),
+		cl.NewService("rabbitmq-mgmt", map[string]string{"run": "biclique-rabbitmq"}, 15672, "10.3.242.40", "146.148.112.213"),
+	}
+	hpa, err := cluster.NewHPA("biclique-joiner-r", joinerR, 1, 3,
+		cluster.Target{Resource: cluster.CPU, AverageUtilization: 80})
+	if err != nil {
+		return "", err
+	}
+
+	// A real engine over a real broker so the queue table has content.
+	b := broker.New(nil)
+	defer b.Close()
+	eng, err := core.New(core.Config{
+		Predicate:           predicate.NewEqui(0, 0),
+		Window:              10 * time.Minute,
+		Routers:             2,
+		RJoiners:            2,
+		SJoiners:            2,
+		PunctuationInterval: time.Millisecond,
+		Broker:              b,
+		OnResult:            func(tuple.JoinResult) {},
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := eng.Start(); err != nil {
+		return "", err
+	}
+	defer eng.Stop()
+	for i := 0; i < 200; i++ {
+		rel := tuple.R
+		if i%2 == 1 {
+			rel = tuple.S
+		}
+		if err := eng.Ingest(tuple.New(rel, uint64(i+1), int64(i), tuple.Int(int64(i%10)))); err != nil {
+			return "", err
+		}
+	}
+	if err := eng.Quiesce(10 * time.Second); err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("=== Cluster (Figure 14) ===\n")
+	sb.WriteString(cl.FormatNodes())
+	sb.WriteString("\n=== Services (Figure 16) ===\n")
+	sb.WriteString(cluster.FormatServices(services))
+	sb.WriteString("\n=== Deployments (Figure 17) ===\n")
+	sb.WriteString(cluster.FormatDeployments(deployments))
+	sb.WriteString("\n=== Horizontal Pod Autoscaler (Figure 19) ===\n")
+	fmt.Fprintf(&sb, "%-24s %-18s %-10s %3s %3s %8s\n", "NAME", "REFERENCE", "TARGET", "MIN", "MAX", "REPLICAS")
+	sb.WriteString(hpa.FormatHPA())
+	sb.WriteString("\n\n=== Broker queues (Figure 18) ===\n")
+	sb.WriteString(b.FormatQueueTable())
+	return sb.String(), nil
+}

@@ -1,0 +1,186 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+)
+
+func TestBTreeOrderedRange(t *testing.T) {
+	b := NewBTree(0)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for i, v := range perm {
+		b.Insert(tuple.New(tuple.R, uint64(i), 0, tuple.Int(int64(v))))
+	}
+	if b.Len() != 500 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	got := collect(b, predicate.Plan{
+		Kind: predicate.ProbeRange,
+		Lo:   tuple.Int(100), Hi: tuple.Int(199), LoInc: true, HiInc: true,
+	})
+	if len(got) != 100 {
+		t.Fatalf("range [100,199] found %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Value(0).Compare(got[i].Value(0)) > 0 {
+			t.Fatal("range scan out of order")
+		}
+	}
+}
+
+func TestBTreeBoundsAndScans(t *testing.T) {
+	b := NewBTree(0)
+	for v := 0; v < 10; v++ {
+		b.Insert(tuple.New(tuple.R, uint64(v), 0, tuple.Int(int64(v))))
+	}
+	cases := []struct {
+		lo, hi       int64
+		loInc, hiInc bool
+		want         int
+	}{
+		{3, 6, true, true, 4},
+		{3, 6, false, true, 3},
+		{3, 6, true, false, 3},
+		{3, 6, false, false, 2},
+	}
+	for _, c := range cases {
+		got := collect(b, predicate.Plan{
+			Kind: predicate.ProbeRange,
+			Lo:   tuple.Int(c.lo), Hi: tuple.Int(c.hi), LoInc: c.loInc, HiInc: c.hiInc,
+		})
+		if len(got) != c.want {
+			t.Errorf("range(%d,%d,%v,%v) = %d, want %d", c.lo, c.hi, c.loInc, c.hiInc, len(got), c.want)
+		}
+	}
+	if got := collect(b, predicate.Plan{Kind: predicate.ProbeRange, Hi: tuple.Int(4), HiInc: false}); len(got) != 4 {
+		t.Errorf("(-inf,4) = %d", len(got))
+	}
+	if got := collect(b, predicate.Plan{Kind: predicate.ProbeRange, Lo: tuple.Int(7), LoInc: true}); len(got) != 3 {
+		t.Errorf("[7,inf) = %d", len(got))
+	}
+	if got := collect(b, predicate.Plan{Kind: predicate.ProbeAll}); len(got) != 10 {
+		t.Errorf("ProbeAll = %d", len(got))
+	}
+	if got := collect(b, predicate.Plan{Kind: predicate.ProbePoint, Key: tuple.Int(5)}); len(got) != 1 {
+		t.Errorf("point = %d", len(got))
+	}
+}
+
+func TestBTreeDuplicateKeysAndEarlyStop(t *testing.T) {
+	b := NewBTree(0)
+	for i := 0; i < 300; i++ {
+		b.Insert(tuple.New(tuple.R, uint64(i), 0, tuple.Int(int64(i%3))))
+	}
+	got := collect(b, predicate.Plan{Kind: predicate.ProbePoint, Key: tuple.Int(1)})
+	if len(got) != 100 {
+		t.Errorf("duplicates for key 1 = %d", len(got))
+	}
+	n := 0
+	b.Probe(predicate.Plan{Kind: predicate.ProbeAll}, func(*tuple.Tuple) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+	if b.MemBytes() <= 0 {
+		t.Error("MemBytes should be positive")
+	}
+}
+
+// TestBTreeMatchesSkipList: both ordered indexes must agree with each
+// other (and hence the reference model) on random workloads.
+func TestBTreeMatchesSkipList(t *testing.T) {
+	f := func(vals []int16, lo, hi int8) bool {
+		bt := NewBTree(0)
+		sl := NewSkipList(0)
+		for i, v := range vals {
+			tp := tuple.New(tuple.R, uint64(i), 0, tuple.Int(int64(v)))
+			bt.Insert(tp)
+			sl.Insert(tp)
+		}
+		l, h := int64(lo), int64(hi)
+		if l > h {
+			l, h = h, l
+		}
+		plan := predicate.Plan{
+			Kind: predicate.ProbeRange,
+			Lo:   tuple.Int(l), Hi: tuple.Int(h), LoInc: true, HiInc: true,
+		}
+		return len(collect(bt, plan)) == len(collect(sl, plan))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeDeepSplits(t *testing.T) {
+	// Enough sequential inserts to force several levels of inner-node
+	// splits; every key must remain reachable.
+	b := NewBTree(0)
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		b.Insert(tuple.New(tuple.R, uint64(i), 0, tuple.Int(int64(i))))
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := collect(b, predicate.Plan{Kind: predicate.ProbeRange}); len(got) != n {
+		t.Fatalf("full range = %d", len(got))
+	}
+	for _, probe := range []int64{0, 1, n / 2, n - 1} {
+		if got := collect(b, predicate.Plan{Kind: predicate.ProbePoint, Key: tuple.Int(probe)}); len(got) != 1 {
+			t.Errorf("point %d = %d hits", probe, len(got))
+		}
+	}
+}
+
+func TestForPredicateOrderedKinds(t *testing.T) {
+	band := predicate.NewBand(0, 0, 1)
+	if _, ok := ForPredicateOrdered(band, tuple.R, BTreeKind)().(*BTree); !ok {
+		t.Error("BTreeKind ignored")
+	}
+	if _, ok := ForPredicateOrdered(band, tuple.R, SkipListKind)().(*SkipList); !ok {
+		t.Error("SkipListKind ignored")
+	}
+	// Equi predicates always hash, whatever the ordered kind.
+	if _, ok := ForPredicateOrdered(predicate.NewEqui(0, 0), tuple.R, BTreeKind)().(*Hash); !ok {
+		t.Error("equi should still hash")
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := NewBTree(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(tuple.New(tuple.R, uint64(i), int64(i), tuple.Int(int64(i*2654435761))))
+	}
+}
+
+// BenchmarkOrderedIndexAblation compares the two ordered sub-index
+// implementations on the band-join access pattern: random inserts mixed
+// with short range probes.
+func BenchmarkOrderedIndexAblation(b *testing.B) {
+	run := func(b *testing.B, mk func() SubIndex) {
+		idx := mk()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			key := int64(i*2654435761) % 100_000
+			idx.Insert(tuple.New(tuple.R, uint64(i), int64(i), tuple.Int(key)))
+			if i%4 == 3 {
+				plan := predicate.Plan{
+					Kind: predicate.ProbeRange,
+					Lo:   tuple.Int(key - 50), Hi: tuple.Int(key + 50),
+					LoInc: true, HiInc: true,
+				}
+				idx.Probe(plan, func(*tuple.Tuple) bool { return true })
+			}
+		}
+	}
+	b.Run("skiplist", func(b *testing.B) { run(b, func() SubIndex { return NewSkipList(0) }) })
+	b.Run("btree", func(b *testing.B) { run(b, func() SubIndex { return NewBTree(0) }) })
+}

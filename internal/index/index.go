@@ -1,0 +1,221 @@
+// Package index provides the joiners' in-memory storage: a hash
+// sub-index for equi-joins, an ordered (skip list) sub-index for
+// non-equi joins, and the chained in-memory index of the source text's
+// Figure 5, which partitions the stream by discrete time intervals
+// (the archive period P) and discards stale data a whole sub-index at a
+// time instead of tuple by tuple.
+package index
+
+import (
+	"fmt"
+
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// SubIndex stores tuples of one relation over one archive period and
+// serves probe plans from the opposite relation.
+type SubIndex interface {
+	// Insert adds a tuple.
+	Insert(t *tuple.Tuple)
+	// Probe calls emit for every stored tuple the plan may match.
+	// Candidates are over-approximate; the caller verifies with the
+	// predicate. Iteration stops early if emit returns false.
+	Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool)
+	// Len returns the number of stored tuples.
+	Len() int
+	// MemBytes estimates resident memory including index overhead.
+	MemBytes() int64
+}
+
+// Factory builds empty sub-indexes. ForPredicate picks the right one.
+type Factory func() SubIndex
+
+// OrderedKind selects the ordered sub-index implementation for
+// non-equi predicates.
+type OrderedKind uint8
+
+// Ordered index implementations.
+const (
+	// SkipListKind: probabilistic skip list (default).
+	SkipListKind OrderedKind = iota
+	// BTreeKind: insert-only B+-tree with a leaf chain.
+	BTreeKind
+)
+
+// ForPredicate selects a hash sub-index for point probes and an ordered
+// sub-index otherwise, mirroring the text's "HashMap for equi-join and
+// BinarySearchTree for non-equi-join predicates".
+func ForPredicate(pred predicate.Predicate, rel tuple.Relation) Factory {
+	return ForPredicateOrdered(pred, rel, SkipListKind)
+}
+
+// ForPredicateOrdered is ForPredicate with an explicit choice of
+// ordered index (the skip-list/B+-tree ablation).
+func ForPredicateOrdered(pred predicate.Predicate, rel tuple.Relation, kind OrderedKind) Factory {
+	attr := pred.IndexAttr(rel)
+	if attr < 0 {
+		// No index help: a hash sub-index still stores tuples and
+		// serves ProbeAll scans.
+		return func() SubIndex { return NewHash(-1) }
+	}
+	if pred.Partitionable() {
+		return func() SubIndex { return NewHash(attr) }
+	}
+	if kind == BTreeKind {
+		return func() SubIndex { return NewBTree(attr) }
+	}
+	return func() SubIndex { return NewSkipList(attr) }
+}
+
+// Chained is the chained in-memory index: an active sub-index receiving
+// inserts, plus a linked chain of archived sub-indexes ordered by
+// construction time. Expiry drops whole archived sub-indexes by
+// Theorem 1 once every tuple they can contain is out of the window.
+type Chained struct {
+	factory Factory
+	period  int64 // archive period P, milliseconds
+	win     window.Sliding
+
+	active   *chainedSub
+	archived []*chainedSub // oldest first
+
+	totalLen int
+	memBytes int64
+	dropped  int64 // total tuples discarded by expiry
+	archives int64 // total archive operations
+}
+
+type chainedSub struct {
+	sub          SubIndex
+	minTS, maxTS int64
+	empty        bool
+}
+
+func newChainedSub(f Factory) *chainedSub {
+	return &chainedSub{sub: f(), empty: true}
+}
+
+func (cs *chainedSub) insert(t *tuple.Tuple) {
+	if cs.empty {
+		cs.minTS, cs.maxTS = t.TS, t.TS
+		cs.empty = false
+	} else {
+		if t.TS < cs.minTS {
+			cs.minTS = t.TS
+		}
+		if t.TS > cs.maxTS {
+			cs.maxTS = t.TS
+		}
+	}
+	cs.sub.Insert(t)
+}
+
+// NewChained builds a chained index with the given archive period over
+// the given window. The period must be positive and is typically a
+// fraction of the window span (W/P sub-indexes are live at a time).
+func NewChained(factory Factory, period int64, win window.Sliding) (*Chained, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("index: archive period must be positive, got %d", period)
+	}
+	return &Chained{
+		factory: factory,
+		period:  period,
+		win:     win,
+		active:  newChainedSub(factory),
+	}, nil
+}
+
+// Insert adds a tuple to the active sub-index, archiving it first if
+// accepting the tuple would stretch the sub-index past the archive
+// period (the Data Indexing operation of the text).
+func (c *Chained) Insert(t *tuple.Tuple) {
+	a := c.active
+	if !a.empty {
+		minTS, maxTS := a.minTS, a.maxTS
+		if t.TS < minTS {
+			minTS = t.TS
+		}
+		if t.TS > maxTS {
+			maxTS = t.TS
+		}
+		if maxTS-minTS > c.period {
+			c.archiveActive()
+			a = c.active
+		}
+	}
+	before := a.sub.MemBytes()
+	a.insert(t)
+	c.memBytes += a.sub.MemBytes() - before
+	c.totalLen++
+}
+
+func (c *Chained) archiveActive() {
+	c.archived = append(c.archived, c.active)
+	c.active = newChainedSub(c.factory)
+	c.archives++
+}
+
+// Expire drops archived sub-indexes whose entire content is stale
+// relative to an opposite-relation tuple timestamp (the Data Discarding
+// operation): by Theorem 1 a sub-index may go once oppTS - maxTS > W.
+// It returns the number of tuples discarded.
+func (c *Chained) Expire(oppTS int64) int {
+	dropped := 0
+	keep := 0
+	for keep < len(c.archived) {
+		cs := c.archived[keep]
+		if !c.win.Expired(cs.maxTS, oppTS) {
+			break // chain is ordered by construction time; later ones are fresher
+		}
+		dropped += cs.sub.Len()
+		c.memBytes -= cs.sub.MemBytes()
+		c.archived[keep] = nil
+		keep++
+	}
+	if keep > 0 {
+		c.archived = append(c.archived[:0], c.archived[keep:]...)
+		c.totalLen -= dropped
+		c.dropped += int64(dropped)
+	}
+	return dropped
+}
+
+// Probe runs the plan over the active sub-index and every surviving
+// archived sub-index (the Join Processing operation). emit receives
+// candidates; returning false stops the scan.
+func (c *Chained) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
+	stopped := false
+	wrapped := func(t *tuple.Tuple) bool {
+		if !emit(t) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, cs := range c.archived {
+		cs.sub.Probe(plan, wrapped)
+		if stopped {
+			return
+		}
+	}
+	c.active.sub.Probe(plan, wrapped)
+}
+
+// Len returns the number of live tuples across all sub-indexes.
+func (c *Chained) Len() int { return c.totalLen }
+
+// MemBytes estimates the resident bytes of all live sub-indexes; this
+// is the joiners' contribution to the memory-based autoscaling metric.
+func (c *Chained) MemBytes() int64 { return c.memBytes }
+
+// NumSubIndexes returns the number of live sub-indexes including the
+// active one.
+func (c *Chained) NumSubIndexes() int { return len(c.archived) + 1 }
+
+// Dropped returns the total number of tuples discarded by expiry.
+func (c *Chained) Dropped() int64 { return c.dropped }
+
+// Archives returns how many sub-indexes have been sealed so far.
+func (c *Chained) Archives() int64 { return c.archives }

@@ -1,0 +1,145 @@
+package index
+
+import (
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+)
+
+// SkipList is an ordered sub-index over one attribute, serving the range
+// probes of band and inequality joins (the "BinarySearchTree for
+// non-equi-join predicates" role in the text). A skip list needs no
+// rebalancing and — since the chained index discards whole sub-indexes —
+// no deletion, keeping it compact and cache-friendly.
+type SkipList struct {
+	attr     int
+	head     *slNode
+	level    int
+	length   int
+	memBytes int64
+	rng      uint64 // xorshift state for level draws; deterministic
+}
+
+const slMaxLevel = 24
+
+type slNode struct {
+	key    tuple.Value
+	tuples []*tuple.Tuple // all tuples sharing the key
+	next   []*slNode
+}
+
+// NewSkipList builds an ordered sub-index keyed on the given attribute.
+func NewSkipList(attr int) *SkipList {
+	return &SkipList{
+		attr:  attr,
+		head:  &slNode{next: make([]*slNode, slMaxLevel)},
+		level: 1,
+		rng:   0x9e3779b97f4a7c15,
+	}
+}
+
+func (s *SkipList) randLevel() int {
+	// xorshift64; each level with probability 1/2.
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	lvl := 1
+	for x&1 == 1 && lvl < slMaxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// Insert implements SubIndex.
+func (s *SkipList) Insert(t *tuple.Tuple) {
+	key := t.Value(s.attr)
+	var update [slMaxLevel]*slNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key.Compare(key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key.Compare(key) == 0 {
+		n.tuples = append(n.tuples, t)
+		s.length++
+		s.memBytes += int64(t.MemSize()) + listEntryOverhead
+		return
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &slNode{key: key, tuples: []*tuple.Tuple{t}, next: make([]*slNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	s.memBytes += int64(t.MemSize()) + int64(64+16*lvl) // node overhead
+}
+
+// seek returns the first node with key >= target (or > target when
+// exclusive).
+func (s *SkipList) seek(target tuple.Value, inclusive bool) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil {
+			c := x.next[i].key.Compare(target)
+			if c < 0 || (c == 0 && !inclusive) {
+				x = x.next[i]
+			} else {
+				break
+			}
+		}
+	}
+	return x.next[0]
+}
+
+// Probe implements SubIndex: ordered range scan for ProbeRange, full
+// scan otherwise (a point probe on an ordered index degenerates to the
+// single-key range).
+func (s *SkipList) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
+	var start *slNode
+	switch plan.Kind {
+	case predicate.ProbePoint:
+		plan = predicate.Plan{
+			Kind: predicate.ProbeRange,
+			Lo:   plan.Key, Hi: plan.Key, LoInc: true, HiInc: true,
+		}
+		fallthrough
+	case predicate.ProbeRange:
+		if plan.Lo.IsValid() {
+			start = s.seek(plan.Lo, plan.LoInc)
+		} else {
+			start = s.head.next[0]
+		}
+	default:
+		start = s.head.next[0]
+	}
+	for n := start; n != nil; n = n.next[0] {
+		if plan.Kind == predicate.ProbeRange && plan.Hi.IsValid() {
+			c := n.key.Compare(plan.Hi)
+			if c > 0 || (c == 0 && !plan.HiInc) {
+				return
+			}
+		}
+		for _, t := range n.tuples {
+			if !emit(t) {
+				return
+			}
+		}
+	}
+}
+
+// Len implements SubIndex.
+func (s *SkipList) Len() int { return s.length }
+
+// MemBytes implements SubIndex.
+func (s *SkipList) MemBytes() int64 { return s.memBytes }

@@ -1,0 +1,238 @@
+// Package joiner implements the join processing units of §3.1.2: each
+// joiner stores one partition of its own relation in a chained in-memory
+// index over a time-based sliding window, joins incoming tuples of the
+// opposite relation against it, discards stale sub-indexes by Theorem 1,
+// and orders its work through the §3.3 tuple ordering protocol.
+package joiner
+
+import (
+	"fmt"
+	"time"
+
+	"bistream/internal/index"
+	"bistream/internal/metrics"
+	"bistream/internal/predicate"
+	"bistream/internal/protocol"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// Config configures a joiner core.
+type Config struct {
+	// ID is the member id within the relation's joiner group.
+	ID int32
+	// Rel is the relation this joiner stores (its side of the biclique).
+	Rel tuple.Relation
+	// Pred is the join predicate.
+	Pred predicate.Predicate
+	// Window is the time-based sliding window; window.Unbounded() runs
+	// a full-history join (nothing expires). FullHistory must be set
+	// alongside an unbounded window to guard against zero-value
+	// configs.
+	Window window.Sliding
+	// FullHistory acknowledges an unbounded window.
+	FullHistory bool
+	// ArchivePeriod is the chained index's sub-index span P; it
+	// defaults to Window/16 when zero.
+	ArchivePeriod time.Duration
+	// OrderedIndex selects the ordered sub-index implementation for
+	// non-equi predicates (skip list by default, B+-tree optional).
+	OrderedIndex index.OrderedKind
+	// Unordered disables the ordering protocol, processing envelopes on
+	// arrival. Used by the Figure 8 experiment to demonstrate the
+	// missed/duplicate result anomalies the protocol prevents.
+	Unordered bool
+}
+
+// Stats snapshots a joiner's work counters. WorkUnits approximates CPU
+// cost: each index insert, probe candidate and expiry visit counts one
+// unit; the cluster simulator converts units/s into CPU utilization.
+type Stats struct {
+	Received    int64 // tuple envelopes accepted from the broker
+	Stored      int64 // tuples inserted into the window
+	Probed      int64 // opposite-relation tuples join-processed
+	Comparisons int64 // probe candidates examined
+	Results     int64 // join results emitted
+	Expired     int64 // tuples discarded by window expiry
+	Pending     int   // envelopes buffered by the ordering protocol
+	SubIndexes  int   // live sub-indexes in the chain
+	WindowLen   int   // tuples currently stored
+	MemBytes    int64 // estimated resident bytes of the window state
+	WorkUnits   int64 // cumulative work, for the CPU model
+	// Latency summarizes the time tuples spend in the reorder buffer —
+	// the latency cost of the ordering protocol, bounded by the
+	// punctuation interval (nanosecond observations).
+	Latency metrics.Snapshot
+}
+
+// Core is the synchronous join logic. It is not safe for concurrent
+// use; Service serializes access.
+type Core struct {
+	cfg     Config
+	idx     *index.Chained
+	reorder *protocol.Reorderer
+
+	received    metrics.Counter
+	stored      metrics.Counter
+	probed      metrics.Counter
+	comparisons metrics.Counter
+	results     metrics.Counter
+	expired     metrics.Counter
+	work        metrics.Counter
+	latency     *metrics.Histogram
+}
+
+// NewCore builds a joiner core.
+func NewCore(cfg Config) (*Core, error) {
+	if cfg.Pred == nil {
+		return nil, fmt.Errorf("joiner: predicate is required")
+	}
+	if cfg.Window.IsUnbounded() != cfg.FullHistory {
+		if cfg.FullHistory {
+			return nil, fmt.Errorf("joiner: FullHistory set with a bounded %v", cfg.Window)
+		}
+		return nil, fmt.Errorf("joiner: window span must be positive (or set FullHistory)")
+	}
+	if cfg.ArchivePeriod <= 0 {
+		if cfg.FullHistory {
+			cfg.ArchivePeriod = time.Minute
+		} else {
+			cfg.ArchivePeriod = cfg.Window.Span / 16
+			if cfg.ArchivePeriod <= 0 {
+				cfg.ArchivePeriod = cfg.Window.Span
+			}
+		}
+	}
+	idx, err := index.NewChained(
+		index.ForPredicateOrdered(cfg.Pred, cfg.Rel, cfg.OrderedIndex),
+		cfg.ArchivePeriod.Milliseconds(),
+		cfg.Window,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:     cfg,
+		idx:     idx,
+		reorder: protocol.NewReorderer(),
+		latency: metrics.NewHistogram(),
+	}, nil
+}
+
+// ID returns the member id.
+func (c *Core) ID() int32 { return c.cfg.ID }
+
+// Rel returns the relation this joiner stores.
+func (c *Core) Rel() tuple.Relation { return c.cfg.Rel }
+
+// AddRouter registers a router path with the ordering protocol.
+func (c *Core) AddRouter(id int32) {
+	c.reorder.AddRouter(id, protocol.SourceStore)
+	c.reorder.AddRouter(id, protocol.SourceJoin)
+}
+
+// RemoveRouter unregisters a router (scale-in of the router group) and
+// processes whatever its departure unblocks.
+func (c *Core) RemoveRouter(id int32, emit func(tuple.JoinResult)) {
+	for _, e := range c.reorder.RemoveRouterAndRelease(id) {
+		c.process(e, emit)
+	}
+}
+
+// Handle feeds one envelope from the given source path into the joiner.
+// Join results are passed to emit as they are produced.
+func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tuple.JoinResult)) {
+	if env.Kind == protocol.KindTuple {
+		c.received.Inc()
+	}
+	if c.cfg.Unordered {
+		if env.Kind == protocol.KindTuple {
+			c.process(env, emit)
+		}
+		return
+	}
+	if env.Kind == protocol.KindTuple && env.RecvNanos == 0 {
+		env.RecvNanos = time.Now().UnixNano()
+	}
+	for _, e := range c.reorder.Add(env, src) {
+		if e.RecvNanos != 0 {
+			c.latency.Observe(time.Now().UnixNano() - e.RecvNanos)
+		}
+		c.process(e, emit)
+	}
+}
+
+// Flush releases and processes every buffered envelope regardless of
+// punctuation frontiers (engine shutdown).
+func (c *Core) Flush(emit func(tuple.JoinResult)) {
+	for _, e := range c.reorder.Flush() {
+		c.process(e, emit)
+	}
+}
+
+func (c *Core) process(env protocol.Envelope, emit func(tuple.JoinResult)) {
+	t := env.Tuple
+	switch env.Stream {
+	case protocol.StreamStore:
+		if t.Rel != c.cfg.Rel {
+			return // misrouted; a store copy must be our own relation
+		}
+		c.idx.Insert(t)
+		c.stored.Inc()
+		c.work.Inc()
+	case protocol.StreamJoin:
+		if t.Rel != c.cfg.Rel.Opposite() {
+			return
+		}
+		// Data discarding first (Theorem 1), then join processing
+		// against the surviving sub-indexes (§3.1.2). Discarding works
+		// at sub-index granularity — dropping a chain link is O(1)
+		// regardless of how many tuples it holds, which is the chained
+		// index's reason to exist — so it charges one work unit per
+		// expiry check, not per discarded tuple.
+		dropped := c.idx.Expire(t.TS)
+		c.expired.Add(int64(dropped))
+		plan := c.cfg.Pred.Plan(t)
+		c.idx.Probe(plan, func(stored *tuple.Tuple) bool {
+			c.comparisons.Inc()
+			c.work.Inc()
+			var r, s *tuple.Tuple
+			if c.cfg.Rel == tuple.R {
+				r, s = stored, t
+			} else {
+				r, s = t, stored
+			}
+			if c.cfg.Window.Contains(stored.TS, t.TS) && c.cfg.Pred.Match(r, s) {
+				c.results.Inc()
+				emit(tuple.NewJoinResult(r, s))
+			}
+			return true
+		})
+		c.probed.Inc()
+		c.work.Inc()
+	}
+}
+
+// Stats snapshots the joiner's counters.
+func (c *Core) Stats() Stats {
+	return Stats{
+		Received:    c.received.Value(),
+		Stored:      c.stored.Value(),
+		Probed:      c.probed.Value(),
+		Comparisons: c.comparisons.Value(),
+		Results:     c.results.Value(),
+		Expired:     c.expired.Value(),
+		Pending:     c.reorder.Pending(),
+		SubIndexes:  c.idx.NumSubIndexes(),
+		WindowLen:   c.idx.Len(),
+		MemBytes:    c.MemBytes(),
+		WorkUnits:   c.work.Value(),
+		Latency:     c.latency.Snapshot(),
+	}
+}
+
+// MemBytes estimates the joiner's resident state: the chained index plus
+// the reorder buffer.
+func (c *Core) MemBytes() int64 {
+	return c.idx.MemBytes() + int64(c.reorder.Pending())*96
+}

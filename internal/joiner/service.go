@@ -1,0 +1,181 @@
+package joiner
+
+import (
+	"fmt"
+	"sync"
+
+	"bistream/internal/broker"
+	"bistream/internal/protocol"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+)
+
+// Service connects a joiner core to the broker. It owns two queues —
+// the store-stream queue on its own relation's store exchange and the
+// join-stream queue on the opposite relation's join exchange — each
+// bound to the member's key and to the shared punctuation key, and it
+// publishes join results to the result exchange.
+type Service struct {
+	core   *Core
+	client broker.Client
+
+	mu        sync.Mutex // serializes core access from the two streams
+	storeCons broker.Consumer
+	joinCons  broker.Consumer
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// NewService wraps a core with a broker-backed service.
+func NewService(core *Core, client broker.Client) *Service {
+	return &Service{core: core, client: client}
+}
+
+// Queues returns the (storeQueue, joinQueue) names of this member.
+func (s *Service) Queues() (string, string) {
+	return topo.StoreQueue(s.core.Rel(), s.core.ID()),
+		topo.JoinQueue(s.core.Rel(), s.core.ID())
+}
+
+// Start declares the shared topology (idempotently — services may come
+// up in any order) and this member's queues, binds them, and begins
+// consuming.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("joiner: service already started")
+	}
+	if err := topo.Declare(s.client); err != nil {
+		return err
+	}
+	storeQ, joinQ := s.Queues()
+	memberKey := topo.MemberKey(s.core.ID())
+	storeEx := topo.StoreExchange(s.core.Rel())
+	joinEx := topo.JoinExchange(s.core.Rel().Opposite())
+	for _, step := range []struct {
+		queue, exchange, key string
+	}{
+		{storeQ, storeEx, memberKey},
+		{storeQ, storeEx, topo.PunctKey},
+		{joinQ, joinEx, memberKey},
+		{joinQ, joinEx, topo.PunctKey},
+	} {
+		// Member queues are durable consumer-group subscriptions (§4.2).
+		if err := s.client.DeclareQueue(step.queue, broker.QueueOptions{Durable: true}); err != nil {
+			return err
+		}
+		if err := s.client.Bind(step.queue, step.exchange, step.key); err != nil {
+			return err
+		}
+	}
+	storeCons, err := s.client.Consume(storeQ, 256, true)
+	if err != nil {
+		return err
+	}
+	joinCons, err := s.client.Consume(joinQ, 256, true)
+	if err != nil {
+		storeCons.Cancel()
+		return err
+	}
+	s.storeCons, s.joinCons = storeCons, joinCons
+	s.started = true
+	s.wg.Add(2)
+	go s.consumeLoop(storeCons, protocol.SourceStore)
+	go s.consumeLoop(joinCons, protocol.SourceJoin)
+	return nil
+}
+
+// Stop cancels consumption and waits for the loops to drain. The
+// member's queues stay declared so a restart can resume; Retire deletes
+// them.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	storeCons, joinCons := s.storeCons, s.joinCons
+	s.mu.Unlock()
+	storeCons.Cancel()
+	joinCons.Cancel()
+	s.wg.Wait()
+}
+
+// Retire stops the service and deletes its queues (scale-in after the
+// member's window has drained).
+func (s *Service) Retire() {
+	s.Stop()
+	storeQ, joinQ := s.Queues()
+	_ = s.client.DeleteQueue(storeQ)
+	_ = s.client.DeleteQueue(joinQ)
+}
+
+// Core exposes the underlying core. Callers must not invoke core
+// methods while the service is running; use the locked wrappers below.
+func (s *Service) Core() *Core { return s.core }
+
+// ID returns the member id.
+func (s *Service) ID() int32 { return s.core.ID() }
+
+// Rel returns the stored relation.
+func (s *Service) Rel() tuple.Relation { return s.core.Rel() }
+
+// Stats snapshots the core's counters, serialized against the consume
+// loops.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Stats()
+}
+
+// MemBytes reports the core's resident state, serialized against the
+// consume loops.
+func (s *Service) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.MemBytes()
+}
+
+// Flush processes every buffered envelope regardless of punctuation
+// frontiers; results are published. For engine shutdown.
+func (s *Service) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.Flush(s.emit)
+}
+
+// AddRouter registers a router path with the ordering protocol.
+func (s *Service) AddRouter(id int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.AddRouter(id)
+}
+
+// RemoveRouter unregisters a router; results its departure unblocks are
+// published.
+func (s *Service) RemoveRouter(id int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.core.RemoveRouter(id, s.emit)
+}
+
+func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {
+	defer s.wg.Done()
+	for d := range cons.Deliveries() {
+		env, err := protocol.UnmarshalEnvelope(d.Body)
+		if err != nil {
+			continue // poison message; drop
+		}
+		s.mu.Lock()
+		s.core.Handle(env, src, s.emit)
+		s.mu.Unlock()
+	}
+}
+
+// emit publishes a join result. Called with s.mu held.
+func (s *Service) emit(jr tuple.JoinResult) {
+	body := tuple.AppendBinary(tuple.Marshal(jr.Left), jr.Right)
+	_ = s.client.Publish(topo.ResultExchange, topo.ResultKey, nil, body)
+}

@@ -1,0 +1,78 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a predicate from a compact spec string, the format the
+// command-line tools accept:
+//
+//	equi(i,j)        R[i] =  S[j]
+//	band(i,j,w)      |R[i] - S[j]| <= w
+//	theta(i,op,j)    R[i] op S[j]   with op ∈ {<, <=, >, >=, !=}
+//
+// Attribute positions are zero-based.
+func Parse(spec string) (Predicate, error) {
+	spec = strings.TrimSpace(spec)
+	open := strings.IndexByte(spec, '(')
+	if open < 0 || !strings.HasSuffix(spec, ")") {
+		return nil, fmt.Errorf("predicate: bad spec %q (want kind(args))", spec)
+	}
+	kind := strings.TrimSpace(spec[:open])
+	args := strings.Split(spec[open+1:len(spec)-1], ",")
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	switch kind {
+	case "equi":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("predicate: equi wants 2 args, got %d", len(args))
+		}
+		r, err1 := strconv.Atoi(args[0])
+		s, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil || r < 0 || s < 0 {
+			return nil, fmt.Errorf("predicate: bad equi attrs %q", spec)
+		}
+		return NewEqui(r, s), nil
+	case "band":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("predicate: band wants 3 args, got %d", len(args))
+		}
+		r, err1 := strconv.Atoi(args[0])
+		s, err2 := strconv.Atoi(args[1])
+		w, err3 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || r < 0 || s < 0 {
+			return nil, fmt.Errorf("predicate: bad band spec %q", spec)
+		}
+		return NewBand(r, s, w), nil
+	case "theta":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("predicate: theta wants 3 args, got %d", len(args))
+		}
+		r, err1 := strconv.Atoi(args[0])
+		s, err2 := strconv.Atoi(args[2])
+		if err1 != nil || err2 != nil || r < 0 || s < 0 {
+			return nil, fmt.Errorf("predicate: bad theta attrs %q", spec)
+		}
+		var op Op
+		switch args[1] {
+		case "<":
+			op = LT
+		case "<=":
+			op = LE
+		case ">":
+			op = GT
+		case ">=":
+			op = GE
+		case "!=":
+			op = NE
+		default:
+			return nil, fmt.Errorf("predicate: unknown operator %q", args[1])
+		}
+		return NewTheta(r, s, op), nil
+	default:
+		return nil, fmt.Errorf("predicate: unknown kind %q", kind)
+	}
+}

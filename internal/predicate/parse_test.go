@@ -1,0 +1,60 @@
+package predicate
+
+import (
+	"testing"
+
+	"bistream/internal/tuple"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		spec  string
+		match bool // does (R:5, S:5) match?
+	}{
+		{"equi(0,0)", true},
+		{"equi( 0 , 0 )", true},
+		{"band(0,0,1)", true},
+		{"band(0,0,0.0)", true},
+		{"theta(0,<=,0)", true},
+		{"theta(0,<,0)", false},
+		{"theta(0,!=,0)", false},
+		{"theta(0,>=,0)", true},
+		{"theta(0,>,0)", false},
+	}
+	r := tuple.New(tuple.R, 1, 0, tuple.Int(5))
+	s := tuple.New(tuple.S, 2, 0, tuple.Int(5))
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q) = %v", c.spec, err)
+			continue
+		}
+		if got := p.Match(r, s); got != c.match {
+			t.Errorf("Parse(%q).Match(5,5) = %v, want %v", c.spec, got, c.match)
+		}
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	p, err := Parse("band(1,2,3.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := p.(Band)
+	if !ok || b.RAttr != 1 || b.SAttr != 2 || b.Width != 3.5 {
+		t.Errorf("parsed = %#v", p)
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	invalid := []string{
+		"", "equi", "equi(0)", "equi(0,1,2)", "equi(a,b)", "equi(-1,0)",
+		"band(0,0)", "band(0,0,x)", "theta(0,?,0)", "theta(0,<)",
+		"hash(0,0)", "equi(0,0", "(0,0)",
+	}
+	for _, spec := range invalid {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}

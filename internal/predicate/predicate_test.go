@@ -1,0 +1,253 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bistream/internal/tuple"
+)
+
+func rt(v tuple.Value) *tuple.Tuple { return tuple.New(tuple.R, 1, 0, v) }
+func st(v tuple.Value) *tuple.Tuple { return tuple.New(tuple.S, 2, 0, v) }
+
+func TestEqui(t *testing.T) {
+	p := NewEqui(0, 0)
+	if !p.Match(rt(tuple.Int(5)), st(tuple.Int(5))) {
+		t.Error("equal ints should match")
+	}
+	if p.Match(rt(tuple.Int(5)), st(tuple.Int(6))) {
+		t.Error("unequal ints should not match")
+	}
+	if !p.Match(rt(tuple.Int(5)), st(tuple.Float(5.0))) {
+		t.Error("int/float equality should match")
+	}
+	if !p.Partitionable() {
+		t.Error("equi should be partitionable")
+	}
+	if p.IndexAttr(tuple.R) != 0 || p.IndexAttr(tuple.S) != 0 {
+		t.Error("IndexAttr wrong")
+	}
+	plan := p.Plan(st(tuple.Int(7)))
+	if plan.Kind != ProbePoint || !plan.Key.Equal(tuple.Int(7)) {
+		t.Errorf("plan = %+v", plan)
+	}
+	if !strings.Contains(p.String(), "=") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestEquiDifferentAttrs(t *testing.T) {
+	p := NewEqui(1, 0)
+	r := tuple.New(tuple.R, 1, 0, tuple.String("pad"), tuple.Int(9))
+	s := tuple.New(tuple.S, 2, 0, tuple.Int(9))
+	if !p.Match(r, s) {
+		t.Error("should match on R[1] = S[0]")
+	}
+	if plan := p.Plan(r); plan.Kind != ProbePoint || !plan.Key.Equal(tuple.Int(9)) {
+		t.Errorf("plan for R probe = %+v", plan)
+	}
+}
+
+func TestBand(t *testing.T) {
+	p := NewBand(0, 0, 2.5)
+	cases := []struct {
+		r, s float64
+		want bool
+	}{
+		{10, 10, true},
+		{10, 12.5, true},
+		{10, 12.6, false},
+		{10, 7.5, true},
+		{10, 7.4, false},
+	}
+	for _, c := range cases {
+		if got := p.Match(rt(tuple.Float(c.r)), st(tuple.Float(c.s))); got != c.want {
+			t.Errorf("Band(%v,%v) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+	if p.Partitionable() {
+		t.Error("band should not be partitionable")
+	}
+	plan := p.Plan(st(tuple.Float(10)))
+	if plan.Kind != ProbeRange || plan.Lo.AsFloat() != 7.5 || plan.Hi.AsFloat() != 12.5 || !plan.LoInc || !plan.HiInc {
+		t.Errorf("plan = %+v", plan)
+	}
+	if !p.Match(rt(tuple.Int(10)), st(tuple.Int(12))) {
+		t.Error("band over ints should work")
+	}
+	if p.Match(rt(tuple.Value{}), st(tuple.Int(1))) {
+		t.Error("invalid values must not match")
+	}
+}
+
+func TestBandNegativeWidthNormalizes(t *testing.T) {
+	p := NewBand(0, 0, -3)
+	if p.Width != 3 {
+		t.Errorf("Width = %v", p.Width)
+	}
+}
+
+func TestBandSymmetric(t *testing.T) {
+	p := NewBand(0, 0, 5)
+	f := func(a, b int16) bool {
+		m1 := p.Match(rt(tuple.Int(int64(a))), st(tuple.Int(int64(b))))
+		m2 := p.Match(rt(tuple.Int(int64(b))), st(tuple.Int(int64(a))))
+		return m1 == m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThetaMatch(t *testing.T) {
+	mk := func(op Op) Theta { return NewTheta(0, 0, op) }
+	cases := []struct {
+		op   Op
+		r, s int64
+		want bool
+	}{
+		{LT, 1, 2, true}, {LT, 2, 2, false}, {LT, 3, 2, false},
+		{LE, 1, 2, true}, {LE, 2, 2, true}, {LE, 3, 2, false},
+		{GT, 3, 2, true}, {GT, 2, 2, false}, {GT, 1, 2, false},
+		{GE, 3, 2, true}, {GE, 2, 2, true}, {GE, 1, 2, false},
+		{NE, 1, 2, true}, {NE, 2, 2, false},
+	}
+	for _, c := range cases {
+		p := mk(c.op)
+		if got := p.Match(rt(tuple.Int(c.r)), st(tuple.Int(c.s))); got != c.want {
+			t.Errorf("R %v S with (%d,%d) = %v, want %v", c.op, c.r, c.s, got, c.want)
+		}
+	}
+	if mk(LT).Partitionable() {
+		t.Error("theta should not be partitionable")
+	}
+}
+
+func TestThetaPlanDirections(t *testing.T) {
+	p := NewTheta(0, 0, LT) // R < S
+	// Probing the R index with an S tuple: find stored R values < s.
+	plan := p.Plan(st(tuple.Int(10)))
+	if plan.Kind != ProbeRange || plan.Lo.IsValid() || !plan.Hi.Equal(tuple.Int(10)) || plan.HiInc {
+		t.Errorf("S-probe plan = %+v", plan)
+	}
+	// Probing the S index with an R tuple: find stored S values > r.
+	plan = p.Plan(rt(tuple.Int(10)))
+	if plan.Kind != ProbeRange || plan.Hi.IsValid() || !plan.Lo.Equal(tuple.Int(10)) || plan.LoInc {
+		t.Errorf("R-probe plan = %+v", plan)
+	}
+	// GE flips to LE.
+	p = NewTheta(0, 0, GE)
+	plan = p.Plan(rt(tuple.Int(3)))
+	if !plan.Hi.Equal(tuple.Int(3)) || !plan.HiInc {
+		t.Errorf("GE R-probe plan = %+v", plan)
+	}
+	// NE scans everything.
+	if plan := NewTheta(0, 0, NE).Plan(st(tuple.Int(1))); plan.Kind != ProbeAll {
+		t.Errorf("NE plan = %+v", plan)
+	}
+}
+
+// TestThetaPlanSoundness is the key invariant: every matching stored
+// tuple must be covered by the plan the probe generates.
+func TestThetaPlanSoundness(t *testing.T) {
+	ops := []Op{LT, LE, GT, GE, NE}
+	f := func(stored, probe int16, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		p := NewTheta(0, 0, op)
+		// Case 1: stored R tuple, S probe.
+		r, s := rt(tuple.Int(int64(stored))), st(tuple.Int(int64(probe)))
+		if p.Match(r, s) && !planCovers(p.Plan(s), tuple.Int(int64(stored))) {
+			return false
+		}
+		// Case 2: stored S tuple, R probe.
+		r2, s2 := rt(tuple.Int(int64(probe))), st(tuple.Int(int64(stored)))
+		if p.Match(r2, s2) && !planCovers(p.Plan(r2), tuple.Int(int64(stored))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandPlanSoundness(t *testing.T) {
+	f := func(stored, probe int16, width uint8) bool {
+		p := NewBand(0, 0, float64(width))
+		r, s := rt(tuple.Int(int64(stored))), st(tuple.Int(int64(probe)))
+		if p.Match(r, s) && !planCovers(p.Plan(s), tuple.Int(int64(stored))) {
+			return false
+		}
+		if p.Match(r, s) && !planCovers(p.Plan(r), tuple.Int(int64(probe))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// planCovers reports whether a plan's range/point includes the value.
+func planCovers(plan Plan, v tuple.Value) bool {
+	switch plan.Kind {
+	case ProbeAll:
+		return true
+	case ProbePoint:
+		return plan.Key.Equal(v)
+	default:
+		if plan.Lo.IsValid() {
+			c := v.Compare(plan.Lo)
+			if c < 0 || (c == 0 && !plan.LoInc) {
+				return false
+			}
+		}
+		if plan.Hi.IsValid() {
+			c := v.Compare(plan.Hi)
+			if c > 0 || (c == 0 && !plan.HiInc) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestFunc(t *testing.T) {
+	p := NewFunc("same parity", func(r, s *tuple.Tuple) bool {
+		return r.Value(0).AsInt()%2 == s.Value(0).AsInt()%2
+	})
+	if !p.Match(rt(tuple.Int(2)), st(tuple.Int(4))) {
+		t.Error("same parity should match")
+	}
+	if p.Match(rt(tuple.Int(2)), st(tuple.Int(3))) {
+		t.Error("different parity should not match")
+	}
+	if p.Plan(rt(tuple.Int(1))).Kind != ProbeAll {
+		t.Error("Func must plan a full scan")
+	}
+	if p.IndexAttr(tuple.R) != -1 {
+		t.Error("Func has no index attr")
+	}
+	if p.Partitionable() {
+		t.Error("Func is not partitionable")
+	}
+	if p.String() != "same parity" {
+		t.Errorf("String = %q", p.String())
+	}
+	if (Func{Fn: p.Fn}).String() == "" {
+		t.Error("fallback description empty")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{LT: "<", LE: "<=", GT: ">", GE: ">=", NE: "!="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(99).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+}

@@ -1,0 +1,41 @@
+package protocol
+
+import (
+	"testing"
+
+	"bistream/internal/tuple"
+)
+
+// FuzzUnmarshalEnvelope checks the envelope codec never panics and that
+// accepted inputs round-trip semantically (varint fields in the tuple
+// payload have non-canonical encodings, so byte identity is too
+// strict).
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	f.Add(Envelope{Kind: KindPunctuation, RouterID: 3, Counter: 99}.Marshal())
+	f.Add(Envelope{Kind: KindRetire, RouterID: 1, Counter: 1}.Marshal())
+	f.Add(Envelope{
+		Kind: KindTuple, RouterID: 2, Counter: 7, Stream: StreamJoin,
+		Tuple: tuple.New(tuple.S, 5, -3, tuple.String("x"), tuple.Int(9)),
+	}.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return
+		}
+		env2, err := UnmarshalEnvelope(env.Marshal())
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if env2.Kind != env.Kind || env2.RouterID != env.RouterID ||
+			env2.Counter != env.Counter || env2.Stream != env.Stream {
+			t.Fatalf("header mismatch: %+v vs %+v", env, env2)
+		}
+		if (env.Tuple == nil) != (env2.Tuple == nil) {
+			t.Fatal("tuple presence mismatch")
+		}
+		if env.Tuple != nil && env.Tuple.Seq != env2.Tuple.Seq {
+			t.Fatal("tuple mismatch")
+		}
+	})
+}

@@ -1,0 +1,357 @@
+// Package protocol implements the tuple ordering protocol of §3.3 of
+// the source text, which turns the pairwise-FIFO delivery the broker
+// guarantees (Definition 8) into an order-consistent processing sequence
+// at every joiner (Definition 7), eliminating the missed and duplicated
+// join results of Figure 8(c)/(d).
+//
+// Mechanism: each router stamps every outgoing tuple with a
+// monotonically increasing counter; the same stamp travels on both the
+// store copy and the join copies, so the relative order of any two
+// tuples is a property of the stamps alone and is identical at every
+// joiner. Routers periodically broadcast punctuation signals carrying
+// their current counter; a joiner buffers incoming envelopes in a
+// priority queue and only processes those whose counter is covered by
+// the punctuation frontier of every registered router, in (counter,
+// router) order.
+package protocol
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"bistream/internal/tuple"
+)
+
+// Kind discriminates envelope payloads.
+type Kind uint8
+
+// Envelope kinds.
+const (
+	KindTuple Kind = iota + 1
+	KindPunctuation
+	// KindRetire is a router's tombstone: the last envelope it sends on
+	// each path before shutting down (scale-in). On receipt a joiner
+	// unregisters that (router, source) frontier — FIFO guarantees
+	// nothing can follow it, so the frozen frontier of a departed
+	// router can never gate the live routers' newer stamps.
+	KindRetire
+)
+
+// Stream tells a joiner what to do with a tuple: store it in its own
+// relation's window, or join it against the opposite relation's window.
+type Stream uint8
+
+// The two logical streams leaving a router (§3.2).
+const (
+	StreamStore Stream = iota + 1
+	StreamJoin
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	if s == StreamStore {
+		return "store"
+	}
+	return "join"
+}
+
+// Envelope is the unit routers send to joiners: either a stamped tuple
+// on the store or join stream, or a punctuation signal.
+type Envelope struct {
+	Kind     Kind
+	RouterID int32
+	Counter  uint64
+	Stream   Stream       // KindTuple only
+	Tuple    *tuple.Tuple // KindTuple only
+
+	// RecvNanos is the receiving joiner's wall clock at arrival. It is
+	// not serialized; the joiner sets it before buffering and reads it
+	// at release to measure the latency the ordering protocol adds.
+	RecvNanos int64
+}
+
+// Marshal encodes the envelope for a broker message body.
+func (e Envelope) Marshal() []byte {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, byte(e.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.RouterID))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Counter)
+	if e.Kind == KindTuple {
+		buf = append(buf, byte(e.Stream))
+		buf = tuple.AppendBinary(buf, e.Tuple)
+	}
+	return buf
+}
+
+// UnmarshalEnvelope decodes an envelope.
+func UnmarshalEnvelope(data []byte) (Envelope, error) {
+	if len(data) < 13 {
+		return Envelope{}, fmt.Errorf("protocol: short envelope (%d bytes)", len(data))
+	}
+	e := Envelope{
+		Kind:     Kind(data[0]),
+		RouterID: int32(binary.LittleEndian.Uint32(data[1:5])),
+		Counter:  binary.LittleEndian.Uint64(data[5:13]),
+	}
+	switch e.Kind {
+	case KindPunctuation, KindRetire:
+		if len(data) != 13 {
+			return Envelope{}, fmt.Errorf("protocol: signal with %d trailing bytes", len(data)-13)
+		}
+		return e, nil
+	case KindTuple:
+		if len(data) < 14 {
+			return Envelope{}, fmt.Errorf("protocol: tuple envelope missing stream byte")
+		}
+		e.Stream = Stream(data[13])
+		if e.Stream != StreamStore && e.Stream != StreamJoin {
+			return Envelope{}, fmt.Errorf("protocol: bad stream byte %d", data[13])
+		}
+		t, err := tuple.Unmarshal(data[14:])
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Tuple = t
+		return e, nil
+	default:
+		return Envelope{}, fmt.Errorf("protocol: unknown envelope kind %d", data[0])
+	}
+}
+
+// Stamper assigns the per-router monotone counter as a hybrid logical
+// clock: each stamp is max(previous+1, wall-clock microseconds). The
+// wall-clock component keeps the counters of independent routers
+// loosely synchronized, so an idle router's punctuations still advance
+// the joiners' release frontier — without it, a router that stops
+// sending would freeze the minimum frontier below the counters of its
+// busier peers and stall the whole protocol. Correctness does not
+// depend on clock accuracy: any monotone per-router sequence yields a
+// valid global (counter, routerID) order; the clock only provides
+// liveness and an arrival-time-like order.
+//
+// Stamper is safe for concurrent use.
+type Stamper struct {
+	routerID int32
+	now      func() uint64
+	mu       sync.Mutex
+	counter  uint64
+}
+
+// NewStamper creates a stamper for the given router id using the wall
+// clock as the hybrid component.
+func NewStamper(routerID int32) *Stamper {
+	return NewStamperFunc(routerID, func() uint64 { return uint64(time.Now().UnixMicro()) })
+}
+
+// NewStamperFunc creates a stamper with a custom clock source; now may
+// return 0 for a purely logical counter (tests).
+func NewStamperFunc(routerID int32, now func() uint64) *Stamper {
+	return &Stamper{routerID: routerID, now: now}
+}
+
+// Next returns the next stamp (strictly increasing, starting at 1).
+func (s *Stamper) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counter + 1
+	if t := s.now(); t > c {
+		c = t
+	}
+	s.counter = c
+	return c
+}
+
+// Punctuation returns the value a punctuation signal carries: it
+// consumes the current clock so every later stamp is strictly greater,
+// which is the promise (Definition 7) joiners rely on when releasing
+// envelopes with counter <= frontier.
+func (s *Stamper) Punctuation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.now(); t > s.counter {
+		s.counter = t
+	}
+	return s.counter
+}
+
+// Current returns the last issued stamp without advancing the clock.
+func (s *Stamper) Current() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counter
+}
+
+// RouterID returns the stamper's router id.
+func (s *Stamper) RouterID() int32 { return s.routerID }
+
+// Source identifies one FIFO path from a router into a joiner. A joiner
+// typically has two: its store-stream queue and its join-stream queue.
+// Punctuations are broadcast on every path, and an envelope only
+// releases when every registered (router, source) frontier covers its
+// counter, because FIFO holds per path, not across paths.
+type Source int32
+
+// The conventional sources of a joiner.
+const (
+	SourceStore Source = 0
+	SourceJoin  Source = 1
+)
+
+type frontKey struct {
+	router int32
+	source Source
+}
+
+// Reorderer is the joiner-side buffer: it holds envelopes until the
+// punctuation frontier of every registered (router, source) path covers
+// them, then releases them in (counter, routerID) order — a subsequence
+// of one global sequence, as Definition 7 requires.
+//
+// Reorderer is not safe for concurrent use; the joiner serializes access.
+type Reorderer struct {
+	frontier map[frontKey]uint64
+	pending  envHeap
+	released uint64
+	maxDepth int
+}
+
+// NewReorderer creates an empty reorder buffer. Router paths must be
+// registered with AddRouter before their envelopes can release.
+func NewReorderer() *Reorderer {
+	return &Reorderer{frontier: make(map[frontKey]uint64)}
+}
+
+// AddRouter registers a router path; until it punctuates, its frontier
+// is 0 and gates every release (a newly added router cannot have sent
+// anything yet, so this is conservative only for one punctuation
+// period).
+func (r *Reorderer) AddRouter(id int32, source Source) {
+	k := frontKey{id, source}
+	if _, ok := r.frontier[k]; !ok {
+		r.frontier[k] = 0
+	}
+}
+
+// RemoveRouter unregisters all paths of a router (scale-in).
+func (r *Reorderer) RemoveRouter(id int32) {
+	for k := range r.frontier {
+		if k.router == id {
+			delete(r.frontier, k)
+		}
+	}
+}
+
+// RemoveRouterAndRelease unregisters a router and returns the envelopes
+// its departure unblocks (the departing router may have been the one
+// holding the minimum frontier).
+func (r *Reorderer) RemoveRouterAndRelease(id int32) []Envelope {
+	r.RemoveRouter(id)
+	return r.release()
+}
+
+// Routers returns the number of registered router paths.
+func (r *Reorderer) Routers() int { return len(r.frontier) }
+
+// Add buffers a tuple envelope arriving on the given source path and
+// returns any envelopes that are now releasable, in order.
+func (r *Reorderer) Add(e Envelope, source Source) []Envelope {
+	switch e.Kind {
+	case KindPunctuation:
+		return r.Punctuate(e.RouterID, source, e.Counter)
+	case KindRetire:
+		return r.Retire(e.RouterID, source)
+	}
+	r.AddRouter(e.RouterID, source) // seeing traffic implies the path exists
+	heap.Push(&r.pending, e)
+	if len(r.pending) > r.maxDepth {
+		r.maxDepth = len(r.pending)
+	}
+	return r.release()
+}
+
+// Punctuate advances a router path's frontier (from a punctuation
+// signal) and returns the newly releasable envelopes, in order.
+func (r *Reorderer) Punctuate(routerID int32, source Source, counter uint64) []Envelope {
+	k := frontKey{routerID, source}
+	if cur, ok := r.frontier[k]; !ok || counter > cur {
+		r.frontier[k] = counter
+	}
+	return r.release()
+}
+
+// Retire unregisters one (router, source) path on receipt of the
+// router's tombstone and returns the envelopes its removal unblocks.
+func (r *Reorderer) Retire(routerID int32, source Source) []Envelope {
+	delete(r.frontier, frontKey{routerID, source})
+	return r.release()
+}
+
+// minFrontier computes the smallest punctuated counter over registered
+// routers; envelopes at or below it are safe to process.
+func (r *Reorderer) minFrontier() uint64 {
+	first := true
+	var m uint64
+	for _, c := range r.frontier {
+		if first || c < m {
+			m = c
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	return m
+}
+
+func (r *Reorderer) release() []Envelope {
+	m := r.minFrontier()
+	var out []Envelope
+	for len(r.pending) > 0 && r.pending[0].Counter <= m {
+		out = append(out, heap.Pop(&r.pending).(Envelope))
+		r.released++
+	}
+	return out
+}
+
+// Flush releases everything regardless of frontiers (engine shutdown).
+func (r *Reorderer) Flush() []Envelope {
+	out := make([]Envelope, 0, len(r.pending))
+	for len(r.pending) > 0 {
+		out = append(out, heap.Pop(&r.pending).(Envelope))
+		r.released++
+	}
+	return out
+}
+
+// Pending returns the number of buffered envelopes.
+func (r *Reorderer) Pending() int { return len(r.pending) }
+
+// Released returns the total number of envelopes released.
+func (r *Reorderer) Released() uint64 { return r.released }
+
+// MaxDepth returns the high-water mark of the buffer, a measure of the
+// protocol's memory cost.
+func (r *Reorderer) MaxDepth() int { return r.maxDepth }
+
+// envHeap orders envelopes by (counter, routerID): the global sequence.
+type envHeap []Envelope
+
+func (h envHeap) Len() int { return len(h) }
+func (h envHeap) Less(i, j int) bool {
+	if h[i].Counter != h[j].Counter {
+		return h[i].Counter < h[j].Counter
+	}
+	return h[i].RouterID < h[j].RouterID
+}
+func (h envHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *envHeap) Push(x any)   { *h = append(*h, x.(Envelope)) }
+func (h *envHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,179 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bistream/internal/sketch"
+	"bistream/internal/window"
+)
+
+// HotTracker implements the frequency-aware ("ContRand") routing
+// refinement for equi-joins under skew: keys whose recent share of the
+// stream exceeds a threshold are *promoted* — their tuples are stored
+// round-robin across the whole group (restoring balance) while their
+// join probes broadcast to the whole group (preserving correctness).
+// Rare keys keep the cheap one-copy hash routing.
+//
+// Promotion is monotone-safe: a probe for a newly promoted key
+// broadcasts, which is a superset of wherever its partners were stored.
+// Demotion is drained like a retired layout generation: for a full
+// window (+ slack) after a key cools down, probes keep broadcasting so
+// tuples stored under the hot regime are still reachable; only then
+// does the key return to single-member routing.
+//
+// The tracker must be shared by all routers of an engine (it is
+// mutex-guarded) so their decisions agree; BiStream achieves the same
+// by synchronizing frequency statistics across dispatchers.
+type HotTracker struct {
+	mu         sync.Mutex
+	cm         *sketch.CountMin
+	win        window.Sliding
+	hotFrac    float64 // promote when share > hotFrac
+	coldFrac   float64 // demote when share < coldFrac (hysteresis)
+	minSamples uint64  // no decisions before this much traffic
+	decayEvery uint64  // halve the sketch every this many observations
+	sinceDecay uint64
+	slackMS    int64
+
+	hot     map[uint64]struct{} // promoted keys
+	demoted map[uint64]int64    // key -> demotion event-time (drain until +W)
+}
+
+// HotConfig configures a HotTracker.
+type HotConfig struct {
+	// HotFraction promotes keys whose recent traffic share exceeds it
+	// (default 0.01 = 1%).
+	HotFraction float64
+	// Window must match the join window; it sets the demotion drain.
+	Window window.Sliding
+	// SketchWidth/SketchDepth size the count-min sketch (defaults
+	// 4096×4).
+	SketchWidth, SketchDepth int
+}
+
+// NewHotTracker builds a tracker.
+func NewHotTracker(cfg HotConfig) (*HotTracker, error) {
+	if cfg.HotFraction <= 0 {
+		cfg.HotFraction = 0.01
+	}
+	if cfg.HotFraction >= 1 {
+		return nil, fmt.Errorf("router: hot fraction %v out of range (0,1)", cfg.HotFraction)
+	}
+	if cfg.SketchWidth <= 0 {
+		cfg.SketchWidth = 4096
+	}
+	if cfg.SketchDepth <= 0 {
+		cfg.SketchDepth = 4
+	}
+	cm, err := sketch.New(cfg.SketchWidth, cfg.SketchDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &HotTracker{
+		cm:         cm,
+		win:        cfg.Window,
+		hotFrac:    cfg.HotFraction,
+		coldFrac:   cfg.HotFraction / 2,
+		minSamples: 512,
+		decayEvery: 65536,
+		slackMS:    1000,
+		hot:        make(map[uint64]struct{}),
+		demoted:    make(map[uint64]int64),
+	}, nil
+}
+
+// Observe records one occurrence of the key hash and updates its
+// promotion state. It returns the routing decision for this tuple:
+// storeHot (scatter the store) and joinHot (broadcast the probe).
+func (h *HotTracker) Observe(keyHash uint64, nowTS int64) (storeHot, joinHot bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	est := h.cm.Add(keyHash, 1)
+	h.sinceDecay++
+	if h.sinceDecay >= h.decayEvery {
+		h.cm.Halve()
+		h.sinceDecay = 0
+		h.reviewLocked(nowTS)
+	}
+	total := h.cm.Total()
+	_, isHot := h.hot[keyHash]
+	if total >= h.minSamples {
+		share := float64(est) / float64(total)
+		switch {
+		case !isHot && share > h.hotFrac:
+			h.hot[keyHash] = struct{}{}
+			delete(h.demoted, keyHash) // re-promoted while draining
+			isHot = true
+		case isHot && share < h.coldFrac:
+			delete(h.hot, keyHash)
+			h.demoted[keyHash] = nowTS
+			isHot = false
+		}
+	}
+	if isHot {
+		return true, true
+	}
+	if demotedTS, draining := h.demoted[keyHash]; draining {
+		if h.win.IsUnbounded() || nowTS-demotedTS <= h.win.SpanMillis()+h.slackMS {
+			// Stores go back to the hash member immediately; probes
+			// keep broadcasting until the hot-era tuples expire.
+			return false, true
+		}
+		delete(h.demoted, keyHash)
+	}
+	return false, false
+}
+
+// reviewLocked runs on decay ticks: it demotes promoted keys whose
+// share has collapsed (a key that vanishes from the stream is never
+// observed again, so demotion cannot rely on observation alone) and
+// drops fully drained demotions.
+func (h *HotTracker) reviewLocked(nowTS int64) {
+	total := h.cm.Total()
+	if total >= h.minSamples {
+		for k := range h.hot {
+			if float64(h.cm.Estimate(k))/float64(total) < h.coldFrac {
+				delete(h.hot, k)
+				h.demoted[k] = nowTS
+			}
+		}
+	}
+	if h.win.IsUnbounded() {
+		return
+	}
+	for k, ts := range h.demoted {
+		if nowTS-ts > h.win.SpanMillis()+h.slackMS {
+			delete(h.demoted, k)
+		}
+	}
+}
+
+// Status reports the routing decision for a key without recording an
+// observation (diagnostics and tests).
+func (h *HotTracker) Status(keyHash uint64, nowTS int64) (storeHot, joinHot bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, isHot := h.hot[keyHash]; isHot {
+		return true, true
+	}
+	if demotedTS, draining := h.demoted[keyHash]; draining {
+		if h.win.IsUnbounded() || nowTS-demotedTS <= h.win.SpanMillis()+h.slackMS {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// HotKeys returns the promoted key hashes (sorted, for diagnostics).
+func (h *HotTracker) HotKeys() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, 0, len(h.hot))
+	for k := range h.hot {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,196 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"bistream/internal/metrics"
+	"bistream/internal/predicate"
+	"bistream/internal/protocol"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// Destination is one broker publish the router must perform for a
+// routed tuple or punctuation.
+type Destination struct {
+	Exchange string
+	Key      string
+	Env      protocol.Envelope
+}
+
+// Config configures a router core.
+type Config struct {
+	// ID identifies this router instance in the ordering protocol.
+	ID int32
+	// Pred is the join predicate; its partitionability selects the
+	// routing strategy (§3.2).
+	Pred predicate.Predicate
+	// Window is the sliding window, needed to know when retired layouts
+	// have drained.
+	Window window.Sliding
+	// Hot enables frequency-aware (ContRand) routing for partitionable
+	// predicates: hot keys scatter stores and broadcast probes, cold
+	// keys keep one-copy hash routing. The tracker must be shared by
+	// every router of the engine so decisions agree.
+	Hot *HotTracker
+}
+
+// Stats is a snapshot of a router's counters, the "statistics related
+// to input data" §3.1.1 assigns to the router service.
+type Stats struct {
+	TuplesRouted int64   // tuples ingested and fanned out
+	MsgsOut      int64   // envelopes published (store + join + punct)
+	JoinFanout   int64   // join-stream copies published
+	InputRate    float64 // smoothed tuples/s
+}
+
+// Core is the synchronous routing logic, shared by the broker-backed
+// service and by tests. It is not safe for concurrent use; Service
+// serializes access.
+type Core struct {
+	cfg     Config
+	stamper *protocol.Stamper
+	groups  [2]*Group // indexed by tuple.Relation
+
+	tuplesRouted metrics.Counter
+	msgsOut      metrics.Counter
+	joinFanout   metrics.Counter
+	meter        *metrics.Meter
+}
+
+// NewCore builds a router core. Layouts must be installed with
+// SetLayout before routing.
+func NewCore(cfg Config) (*Core, error) {
+	if cfg.Pred == nil {
+		return nil, fmt.Errorf("router: predicate is required")
+	}
+	// An unbounded window (full-history join) is allowed: retired
+	// layout generations then simply never drain.
+	return &Core{
+		cfg:     cfg,
+		stamper: protocol.NewStamper(cfg.ID),
+		groups:  [2]*Group{NewGroup(cfg.Window), NewGroup(cfg.Window)},
+		meter:   metrics.NewMeter(5 * time.Second),
+	}, nil
+}
+
+// ID returns the router's protocol id.
+func (c *Core) ID() int32 { return c.cfg.ID }
+
+// SetLayout installs the joiner layout for one relation's group.
+// subgroups follows §3.2: 1 for the random strategy (high-selectivity
+// predicates), len(members) for pure hash partitioning (equi-joins),
+// anything between for the subgroup hybrid. Non-partitionable
+// predicates require subgroups == 1.
+func (c *Core) SetLayout(rel tuple.Relation, members []int32, subgroups int, nowTS int64) error {
+	if subgroups != 1 && !c.cfg.Pred.Partitionable() {
+		return fmt.Errorf("router: predicate %v is not partitionable; use subgroups=1", c.cfg.Pred)
+	}
+	return c.groups[rel].SetLayout(members, subgroups, nowTS)
+}
+
+// Members returns the current layout of one relation's group.
+func (c *Core) Members(rel tuple.Relation) []int32 { return c.groups[rel].Members() }
+
+// Route stamps the tuple and computes its destinations: exactly one
+// store copy on the tuple's own side and one join copy per opposite
+// joiner that may hold matches. now is the current (virtual) time used
+// for rate tracking and layout pruning.
+func (c *Core) Route(t *tuple.Tuple, now time.Time) ([]Destination, error) {
+	part := c.cfg.Pred.Partitionable()
+	nowTS := now.UnixMilli()
+	var hash uint64
+	storePart, joinPart := part, part
+	if part {
+		attr := c.cfg.Pred.IndexAttr(t.Rel)
+		hash = t.Value(attr).Hash()
+		if c.cfg.Hot != nil {
+			storeHot, joinHot := c.cfg.Hot.Observe(hash, nowTS)
+			storePart = !storeHot
+			joinPart = !joinHot
+		}
+	}
+	storeMember, err := c.groups[t.Rel].StoreTarget(hash, storePart, nowTS)
+	if err != nil {
+		return nil, err
+	}
+	joinMembers, err := c.groups[t.Rel.Opposite()].JoinTargets(hash, joinPart, nowTS)
+	if err != nil {
+		return nil, err
+	}
+	counter := c.stamper.Next()
+	dests := make([]Destination, 0, 1+len(joinMembers))
+	dests = append(dests, Destination{
+		Exchange: topo.StoreExchange(t.Rel),
+		Key:      topo.MemberKey(storeMember),
+		Env: protocol.Envelope{
+			Kind: protocol.KindTuple, RouterID: c.cfg.ID, Counter: counter,
+			Stream: protocol.StreamStore, Tuple: t,
+		},
+	})
+	for _, m := range joinMembers {
+		dests = append(dests, Destination{
+			Exchange: topo.JoinExchange(t.Rel),
+			Key:      topo.MemberKey(m),
+			Env: protocol.Envelope{
+				Kind: protocol.KindTuple, RouterID: c.cfg.ID, Counter: counter,
+				Stream: protocol.StreamJoin, Tuple: t,
+			},
+		})
+	}
+	c.tuplesRouted.Inc()
+	c.msgsOut.Add(int64(len(dests)))
+	c.joinFanout.Add(int64(len(joinMembers)))
+	c.meter.Observe(now, 1)
+	return dests, nil
+}
+
+// Punctuate emits the periodic punctuation signal (§3.3) to every
+// joiner queue: one publish per relation per exchange under the shared
+// punct binding key.
+func (c *Core) Punctuate() []Destination {
+	env := protocol.Envelope{
+		Kind:     protocol.KindPunctuation,
+		RouterID: c.cfg.ID,
+		Counter:  c.stamper.Punctuation(),
+	}
+	dests := []Destination{
+		{Exchange: topo.StoreExchange(tuple.R), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.StoreExchange(tuple.S), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.JoinExchange(tuple.R), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.JoinExchange(tuple.S), Key: topo.PunctKey, Env: env},
+	}
+	c.msgsOut.Add(int64(len(dests)))
+	return dests
+}
+
+// Retire emits the router's tombstone to every joiner queue: it acts as
+// a final punctuation and unregisters this router from each joiner's
+// frontier table, so a scaled-in router can never stall the protocol.
+func (c *Core) Retire() []Destination {
+	env := protocol.Envelope{
+		Kind:     protocol.KindRetire,
+		RouterID: c.cfg.ID,
+		Counter:  c.stamper.Punctuation(),
+	}
+	dests := []Destination{
+		{Exchange: topo.StoreExchange(tuple.R), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.StoreExchange(tuple.S), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.JoinExchange(tuple.R), Key: topo.PunctKey, Env: env},
+		{Exchange: topo.JoinExchange(tuple.S), Key: topo.PunctKey, Env: env},
+	}
+	c.msgsOut.Add(int64(len(dests)))
+	return dests
+}
+
+// Stats snapshots the router's counters.
+func (c *Core) Stats() Stats {
+	return Stats{
+		TuplesRouted: c.tuplesRouted.Value(),
+		MsgsOut:      c.msgsOut.Value(),
+		JoinFanout:   c.joinFanout.Value(),
+		InputRate:    c.meter.Rate(),
+	}
+}

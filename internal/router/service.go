@@ -1,0 +1,198 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+	"bistream/internal/vclock"
+)
+
+// Service connects a router core to the broker: it competes with its
+// sibling router instances for raw tuples on the entry queue, fans each
+// out through the core, and emits punctuation signals periodically.
+type Service struct {
+	core   *Core
+	client broker.Client
+	clock  vclock.Clock
+	punct  time.Duration
+
+	mu       sync.Mutex
+	coreMu   sync.Mutex // serializes access to the (non-thread-safe) core
+	cons     broker.Consumer
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	puncDone chan struct{}
+	started  bool
+}
+
+// ServiceConfig configures a router service.
+type ServiceConfig struct {
+	// PunctuationInterval is how often the router broadcasts punctuation
+	// signals; the text suggests every 20ms.
+	PunctuationInterval time.Duration
+	// Prefetch bounds in-flight deliveries from the entry queue.
+	Prefetch int
+}
+
+// DefaultPunctuationInterval mirrors the 20ms suggestion of §3.3.
+const DefaultPunctuationInterval = 20 * time.Millisecond
+
+// NewService wraps core with a broker-backed service. clock defaults to
+// the wall clock.
+func NewService(core *Core, client broker.Client, clock vclock.Clock, cfg ServiceConfig) *Service {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	if cfg.PunctuationInterval <= 0 {
+		cfg.PunctuationInterval = DefaultPunctuationInterval
+	}
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 64
+	}
+	return &Service{
+		core:   core,
+		client: client,
+		clock:  clock,
+		punct:  cfg.PunctuationInterval,
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Start declares topology, attaches to the entry queue and launches the
+// routing and punctuation loops.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("router: service already started")
+	}
+	if err := topo.Declare(s.client); err != nil {
+		return err
+	}
+	cons, err := s.client.Consume(topo.EntryQueue, 64, true)
+	if err != nil {
+		return err
+	}
+	s.cons = cons
+	s.doneCh = make(chan struct{})
+	s.puncDone = make(chan struct{})
+	s.started = true
+	go s.routeLoop()
+	go s.punctuationLoop()
+	return nil
+}
+
+// Stop cancels consumption and halts the loops. It emits one final
+// punctuation so joiners can release everything already sent.
+func (s *Service) Stop() { s.stop(false) }
+
+// Retire stops the service and broadcasts the router's tombstone, which
+// unregisters it from every joiner's frontier table (scale-in).
+func (s *Service) Retire() { s.stop(true) }
+
+func (s *Service) stop(retire bool) {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	close(s.stopCh)
+	cons := s.cons
+	s.mu.Unlock()
+	cons.Cancel()
+	<-s.doneCh
+	<-s.puncDone
+	if retire {
+		s.coreMu.Lock()
+		dests := s.core.Retire()
+		s.coreMu.Unlock()
+		for _, dst := range dests {
+			if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
+				return
+			}
+		}
+		return
+	}
+	s.publishPunctuation()
+}
+
+// ID returns the router's protocol id.
+func (s *Service) ID() int32 { return s.core.ID() }
+
+// SetLayout forwards a layout change to the core, serialized against
+// the routing loop.
+func (s *Service) SetLayout(rel tuple.Relation, members []int32, subgroups int, nowTS int64) error {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	return s.core.SetLayout(rel, members, subgroups, nowTS)
+}
+
+// Stats snapshots the core's counters, serialized against the routing
+// loop.
+func (s *Service) Stats() Stats {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	return s.core.Stats()
+}
+
+// routeLoop stamps and publishes under coreMu as one atomic step: a
+// punctuation carrying value P promises that every tuple stamped <= P
+// has already been published (pairwise FIFO then delivers it first), so
+// the stamp and its publish must not interleave with a punctuation
+// publish.
+func (s *Service) routeLoop() {
+	defer close(s.doneCh)
+	for d := range s.cons.Deliveries() {
+		t, err := tuple.Unmarshal(d.Body)
+		if err != nil {
+			continue // poison message; drop
+		}
+		s.coreMu.Lock()
+		dests, err := s.core.Route(t, s.clock.Now())
+		if err != nil {
+			s.coreMu.Unlock()
+			continue // no layout yet; drop rather than wedge the queue
+		}
+		for _, dst := range dests {
+			if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
+				s.coreMu.Unlock()
+				return
+			}
+		}
+		s.coreMu.Unlock()
+	}
+}
+
+// punctuationLoop paces punctuation on the wall clock even when the
+// engine runs under a simulated clock: the cadence bounds result
+// latency but does not affect correctness or the experiments' virtual
+// time, and a simulated clock only advances when its driver says so,
+// which would starve the protocol.
+func (s *Service) punctuationLoop() {
+	defer close(s.puncDone)
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-time.After(s.punct):
+			s.publishPunctuation()
+		}
+	}
+}
+
+// publishPunctuation holds coreMu across the signal's computation and
+// publish; see routeLoop for why.
+func (s *Service) publishPunctuation() {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	for _, dst := range s.core.Punctuate() {
+		if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package router implements the dispatcher service of §3.1.1: it
+// ingests raw tuples, stamps them with the ordering protocol's counter,
+// and fans them out onto the store stream (one joiner of the tuple's own
+// relation) and the join stream (the joiners of the opposite relation
+// that may hold matching tuples), using the routing strategy appropriate
+// for the predicate's selectivity (§3.2).
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"bistream/internal/window"
+)
+
+// A Group tracks the layout of one relation's joiner members. Layouts
+// are versioned into generations so the engine can scale without data
+// migration: stores always use the newest layout, while join fan-out
+// covers every generation whose stored tuples may still be in-window.
+// Once a retired generation's data has fully expired it is pruned.
+type Group struct {
+	win  window.Sliding
+	gens []*generation
+	// retireSlack widens the drain horizon to absorb event-time skew
+	// between routing time and tuple timestamps.
+	retireSlackMS int64
+}
+
+type generation struct {
+	members   []int32
+	subgroups int      // d; 1 = random/broadcast routing, len(members) = pure hash
+	rr        []uint64 // round-robin cursor per subgroup (store stream)
+	retiredTS int64    // event-time when superseded; 0 while current
+}
+
+// NewGroup creates a group with no layout; SetLayout must be called
+// before routing.
+func NewGroup(win window.Sliding) *Group {
+	return &Group{win: win, retireSlackMS: 1000}
+}
+
+// SetLayout installs a new layout of members partitioned into the given
+// number of subgroups (Table 1's d and e). subgroups must be between 1
+// and len(members). Member ids must be unique. The previous layout, if
+// any, is retired as of nowTS and continues receiving join fan-out until
+// its stored tuples expire.
+func (g *Group) SetLayout(members []int32, subgroups int, nowTS int64) error {
+	if len(members) == 0 {
+		return fmt.Errorf("router: layout needs at least one member")
+	}
+	if subgroups < 1 || subgroups > len(members) {
+		return fmt.Errorf("router: subgroups %d out of range [1,%d]", subgroups, len(members))
+	}
+	seen := make(map[int32]bool, len(members))
+	for _, m := range members {
+		if seen[m] {
+			return fmt.Errorf("router: duplicate member %d", m)
+		}
+		seen[m] = true
+	}
+	if cur := g.current(); cur != nil {
+		if sameLayout(cur.members, members) && cur.subgroups == subgroups {
+			return nil // no-op
+		}
+		cur.retiredTS = nowTS
+	}
+	g.gens = append(g.gens, &generation{
+		members:   append([]int32(nil), members...),
+		subgroups: subgroups,
+		rr:        make([]uint64, subgroups),
+	})
+	g.prune(nowTS)
+	return nil
+}
+
+func sameLayout(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Group) current() *generation {
+	if len(g.gens) == 0 {
+		return nil
+	}
+	return g.gens[len(g.gens)-1]
+}
+
+// Members returns the current layout's members (sorted copy).
+func (g *Group) Members() []int32 {
+	cur := g.current()
+	if cur == nil {
+		return nil
+	}
+	out := append([]int32(nil), cur.members...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Generations returns how many layouts are still live (current plus
+// draining retirees).
+func (g *Group) Generations() int { return len(g.gens) }
+
+// prune drops retired generations whose stored tuples are all expired:
+// a tuple stored under a generation has event time <= retiredTS, so by
+// Theorem 1 everything is gone once nowTS - retiredTS > W (+ slack).
+// Under a full-history window nothing ever expires, so retired
+// generations are kept forever — the price of migration-free scaling
+// without a window bound.
+func (g *Group) prune(nowTS int64) {
+	if g.win.IsUnbounded() {
+		return
+	}
+	keep := g.gens[:0]
+	for i, gen := range g.gens {
+		if i == len(g.gens)-1 || gen.retiredTS == 0 ||
+			nowTS-gen.retiredTS <= g.win.SpanMillis()+g.retireSlackMS {
+			keep = append(keep, gen)
+		}
+	}
+	g.gens = keep
+}
+
+// subgroupMembers returns the members of subgroup sub (those whose index
+// i satisfies i % d == sub).
+func (gen *generation) subgroupMembers(sub int) []int32 {
+	var out []int32
+	for i := sub; i < len(gen.members); i += gen.subgroups {
+		out = append(out, gen.members[i])
+	}
+	return out
+}
+
+// StoreTarget picks the joiner that stores a tuple with the given join
+// attribute hash: the tuple is hashed to a subgroup of the current
+// layout and round-robined within it (random strategy when d == 1,
+// pure hash partitioning when d == len(members)).
+// partitionable=false ignores the hash and round-robins across the
+// whole group — the random strategy, also used for individual hot keys
+// under frequency-aware routing.
+func (g *Group) StoreTarget(hash uint64, partitionable bool, nowTS int64) (int32, error) {
+	g.prune(nowTS)
+	cur := g.current()
+	if cur == nil {
+		return 0, fmt.Errorf("router: no layout installed")
+	}
+	if !partitionable {
+		m := cur.members[cur.rr[0]%uint64(len(cur.members))]
+		cur.rr[0]++
+		return m, nil
+	}
+	sub := 0
+	if cur.subgroups > 1 {
+		sub = int(hash % uint64(cur.subgroups))
+	}
+	members := cur.subgroupMembers(sub)
+	m := members[cur.rr[sub]%uint64(len(members))]
+	cur.rr[sub]++
+	return m, nil
+}
+
+// JoinTargets returns the joiners that must receive the join-stream copy
+// of a tuple with the given hash: for every live generation, the whole
+// subgroup the hash maps to (all members when not partitionable or
+// d == 1). The union across generations guarantees no match is missed
+// while a retired layout drains.
+func (g *Group) JoinTargets(hash uint64, partitionable bool, nowTS int64) ([]int32, error) {
+	g.prune(nowTS)
+	if len(g.gens) == 0 {
+		return nil, fmt.Errorf("router: no layout installed")
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, gen := range g.gens {
+		var members []int32
+		if partitionable && gen.subgroups > 1 {
+			members = gen.subgroupMembers(int(hash % uint64(gen.subgroups)))
+		} else {
+			members = gen.members
+		}
+		for _, m := range members {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

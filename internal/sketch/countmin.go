@@ -1,0 +1,105 @@
+// Package sketch provides the count-min sketch the frequency-aware
+// (ContRand-style) routing strategy uses to detect hot join keys in
+// bounded memory: a width×depth counter matrix with conservative
+// update and periodic halving so estimates track the recent stream
+// rather than all history.
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountMin is a count-min sketch over uint64-hashed keys. It is not
+// safe for concurrent use; callers serialize access.
+type CountMin struct {
+	width  int
+	depth  int
+	counts [][]uint32
+	seeds  []uint64
+	total  uint64 // items added since the last halving window reset
+}
+
+// New creates a sketch. Width should be a few thousand for percent-level
+// hot-key thresholds; depth 3-5 bounds the overestimate probability.
+func New(width, depth int) (*CountMin, error) {
+	if width < 8 || depth < 1 {
+		return nil, fmt.Errorf("sketch: width %d / depth %d too small", width, depth)
+	}
+	cm := &CountMin{
+		width:  width,
+		depth:  depth,
+		counts: make([][]uint32, depth),
+		seeds:  make([]uint64, depth),
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < depth; i++ {
+		cm.counts[i] = make([]uint32, width)
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		cm.seeds[i] = seed | 1 // odd, for multiply-shift hashing
+	}
+	return cm, nil
+}
+
+func (cm *CountMin) cell(row int, key uint64) int {
+	h := key * cm.seeds[row]
+	h ^= h >> 33
+	return int(h % uint64(cm.width))
+}
+
+// Add increments the key's count by n using conservative update (only
+// the minimal cells grow), and returns the new estimate.
+func (cm *CountMin) Add(key uint64, n uint32) uint32 {
+	est := cm.Estimate(key)
+	target := est + n
+	if target < est { // overflow clamp
+		target = math.MaxUint32
+	}
+	for row := 0; row < cm.depth; row++ {
+		c := &cm.counts[row][cm.cell(row, key)]
+		if *c < target {
+			*c = target
+		}
+	}
+	cm.total += uint64(n)
+	return target
+}
+
+// Estimate returns the (over-)estimate of the key's count.
+func (cm *CountMin) Estimate(key uint64) uint32 {
+	min := uint32(math.MaxUint32)
+	for row := 0; row < cm.depth; row++ {
+		if c := cm.counts[row][cm.cell(row, key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the number of items added since the last Halve/Reset
+// pair of halvings (each Halve also halves the total, keeping
+// Estimate/Total a meaningful recent-frequency ratio).
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Halve decays every counter (and the running total) by half,
+// exponentially forgetting old traffic.
+func (cm *CountMin) Halve() {
+	for _, row := range cm.counts {
+		for i := range row {
+			row[i] >>= 1
+		}
+	}
+	cm.total >>= 1
+}
+
+// Reset zeroes the sketch.
+func (cm *CountMin) Reset() {
+	for _, row := range cm.counts {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	cm.total = 0
+}

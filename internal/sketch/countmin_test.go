@@ -1,0 +1,135 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(4, 3); err == nil {
+		t.Error("tiny width accepted")
+	}
+	if _, err := New(100, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	cm, err := New(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(2000))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Estimate(k); got < want {
+			t.Fatalf("key %d: estimate %d < true %d", k, got, want)
+		}
+	}
+}
+
+func TestHotKeyDetection(t *testing.T) {
+	cm, _ := New(4096, 4)
+	rng := rand.New(rand.NewSource(2))
+	// One key takes 20% of 50k items over a 10k-key tail.
+	for i := 0; i < 50000; i++ {
+		if rng.Float64() < 0.2 {
+			cm.Add(42, 1)
+		} else {
+			cm.Add(uint64(100+rng.Intn(10000)), 1)
+		}
+	}
+	hotShare := float64(cm.Estimate(42)) / float64(cm.Total())
+	if hotShare < 0.18 || hotShare > 0.25 {
+		t.Errorf("hot key share = %.3f, want ≈0.2", hotShare)
+	}
+	coldShare := float64(cm.Estimate(101)) / float64(cm.Total())
+	if coldShare > 0.01 {
+		t.Errorf("cold key share = %.4f, too high", coldShare)
+	}
+}
+
+func TestHalveDecays(t *testing.T) {
+	cm, _ := New(256, 3)
+	cm.Add(7, 1000)
+	if cm.Estimate(7) != 1000 || cm.Total() != 1000 {
+		t.Fatalf("pre-halve: est=%d total=%d", cm.Estimate(7), cm.Total())
+	}
+	cm.Halve()
+	if got := cm.Estimate(7); got != 500 {
+		t.Errorf("post-halve estimate = %d", got)
+	}
+	if cm.Total() != 500 {
+		t.Errorf("post-halve total = %d", cm.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	cm, _ := New(256, 3)
+	cm.Add(7, 10)
+	cm.Reset()
+	if cm.Estimate(7) != 0 || cm.Total() != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestConservativeUpdateTighterThanNaive(t *testing.T) {
+	// Conservative update: adding distinct keys should not inflate each
+	// other's estimates much beyond truth even in a small sketch.
+	cm, _ := New(64, 4)
+	for k := uint64(0); k < 200; k++ {
+		cm.Add(k, 1)
+	}
+	over := 0
+	for k := uint64(0); k < 200; k++ {
+		if cm.Estimate(k) > 4 {
+			over++
+		}
+	}
+	if over > 100 {
+		t.Errorf("%d/200 estimates grossly inflated", over)
+	}
+}
+
+func TestMonotoneEstimateProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		cm, _ := New(128, 3)
+		last := map[uint64]uint32{}
+		for _, k16 := range keys {
+			k := uint64(k16)
+			got := cm.Add(k, 1)
+			if got <= last[k] { // strictly grows for the added key
+				return false
+			}
+			last[k] = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowClamp(t *testing.T) {
+	cm, _ := New(64, 2)
+	cm.Add(1, 1<<31)
+	cm.Add(1, 1<<31)
+	cm.Add(1, 1<<31) // would overflow uint32
+	if got := cm.Estimate(1); got != 1<<32-1 {
+		t.Errorf("estimate = %d, want clamped max", got)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	cm, _ := New(4096, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.Add(uint64(i&1023), 1)
+	}
+}

@@ -1,0 +1,58 @@
+package topo
+
+import (
+	"testing"
+
+	"bistream/internal/broker"
+	"bistream/internal/tuple"
+)
+
+func TestNaming(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{StoreExchange(tuple.R), "Rstore.exchange"},
+		{StoreExchange(tuple.S), "Sstore.exchange"},
+		{JoinExchange(tuple.R), "Rjoin.exchange"},
+		{JoinExchange(tuple.S), "Sjoin.exchange"},
+		{MemberKey(3), "m.3"},
+		{StoreQueue(tuple.R, 2), "Rstore.exchange.q.2"},
+		// An R joiner's join queue consumes the S relation's join
+		// exchange: tuples of S are joined on the R side.
+		{JoinQueue(tuple.R, 2), "Sjoin.exchange.q.2"},
+		{JoinQueue(tuple.S, 0), "Rjoin.exchange.q.0"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestDeclareIdempotent(t *testing.T) {
+	b := broker.New(nil)
+	defer b.Close()
+	if err := Declare(b); err != nil {
+		t.Fatal(err)
+	}
+	// Any service may re-declare in any order.
+	if err := Declare(b); err != nil {
+		t.Fatalf("re-declare: %v", err)
+	}
+	for _, ex := range []string{
+		EntryExchange, StoreExchange(tuple.R), StoreExchange(tuple.S),
+		JoinExchange(tuple.R), JoinExchange(tuple.S), ResultExchange,
+	} {
+		if err := b.DeclareExchange(ex, broker.Topic); err != nil {
+			t.Errorf("exchange %s missing or wrong kind: %v", ex, err)
+		}
+	}
+	if _, err := b.QueueStats(EntryQueue); err != nil {
+		t.Errorf("entry queue missing: %v", err)
+	}
+	// The entry queue is bound: a published raw tuple lands in it.
+	if err := b.Publish(EntryExchange, EntryKey, nil, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := b.QueueStats(EntryQueue); st.Ready != 1 {
+		t.Errorf("entry binding broken: ready=%d", st.Ready)
+	}
+}

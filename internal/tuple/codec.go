@@ -1,0 +1,139 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary tuple encoding, used by the TCP wire protocol and by the broker
+// when it needs a stable byte representation of a message body.
+//
+// Layout (little endian):
+//
+//	byte    relation (0=R, 1=S)
+//	uint64  seq
+//	int64   ts
+//	uvarint number of values
+//	per value:
+//	    byte kind
+//	    KindInt:    int64
+//	    KindFloat:  float64 bits
+//	    KindString: uvarint length + bytes
+//
+// The encoding is self-describing (no schema needed to decode), compact,
+// and allocation-light on the encode path.
+
+// ErrCorrupt is returned when a byte slice cannot be decoded as a tuple.
+var ErrCorrupt = errors.New("tuple: corrupt encoding")
+
+// AppendBinary appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendBinary(dst []byte, t *Tuple) []byte {
+	dst = append(dst, byte(t.Rel))
+	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.TS))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Values)))
+	for _, v := range t.Values {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindInt:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// Marshal returns the binary encoding of t.
+func Marshal(t *Tuple) []byte {
+	return AppendBinary(make([]byte, 0, 17+len(t.Values)*9), t)
+}
+
+// Unmarshal decodes a tuple previously produced by Marshal/AppendBinary.
+func Unmarshal(data []byte) (*Tuple, error) {
+	t, rest, err := consume(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return t, nil
+}
+
+// UnmarshalPair decodes two concatenated tuples, the encoding joiners
+// use for join results (left tuple followed by right tuple).
+func UnmarshalPair(data []byte) (*Tuple, *Tuple, error) {
+	a, rest, err := consume(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, rest, err := consume(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after pair", ErrCorrupt, len(rest))
+	}
+	return a, b, nil
+}
+
+func consume(data []byte) (*Tuple, []byte, error) {
+	if len(data) < 17 {
+		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	rel := Relation(data[0])
+	if rel != R && rel != S {
+		return nil, nil, fmt.Errorf("%w: bad relation byte %d", ErrCorrupt, data[0])
+	}
+	seq := binary.LittleEndian.Uint64(data[1:9])
+	ts := int64(binary.LittleEndian.Uint64(data[9:17]))
+	data = data[17:]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad value count", ErrCorrupt)
+	}
+	data = data[sz:]
+	if n > uint64(len(data)) { // each value needs at least 1 byte
+		return nil, nil, fmt.Errorf("%w: value count %d exceeds payload", ErrCorrupt, n)
+	}
+	values := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) < 1 {
+			return nil, nil, fmt.Errorf("%w: truncated value", ErrCorrupt)
+		}
+		kind := Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case KindInt:
+			if len(data) < 8 {
+				return nil, nil, fmt.Errorf("%w: truncated int", ErrCorrupt)
+			}
+			values = append(values, Int(int64(binary.LittleEndian.Uint64(data))))
+			data = data[8:]
+		case KindFloat:
+			if len(data) < 8 {
+				return nil, nil, fmt.Errorf("%w: truncated float", ErrCorrupt)
+			}
+			values = append(values, Float(math.Float64frombits(binary.LittleEndian.Uint64(data))))
+			data = data[8:]
+		case KindString:
+			l, sz := binary.Uvarint(data)
+			if sz <= 0 || l > uint64(len(data)-sz) {
+				return nil, nil, fmt.Errorf("%w: truncated string", ErrCorrupt)
+			}
+			data = data[sz:]
+			values = append(values, String(string(data[:l])))
+			data = data[l:]
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
+		}
+	}
+	return &Tuple{Rel: rel, Seq: seq, TS: ts, Values: values}, data, nil
+}

@@ -1,0 +1,70 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+)
+
+// sameTuple compares decoded tuples semantically (NaN-aware).
+func sameTuple(a, b *Tuple) bool {
+	if a.Rel != b.Rel || a.Seq != b.Seq || a.TS != b.TS || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		va, vb := a.Values[i], b.Values[i]
+		if va.Kind() != vb.Kind() {
+			return false
+		}
+		if va.Kind() == KindFloat && math.IsNaN(va.AsFloat()) && math.IsNaN(vb.AsFloat()) {
+			continue
+		}
+		if !va.Equal(vb) && va.IsValid() {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzUnmarshal checks the tuple codec never panics on arbitrary input
+// and that everything it accepts round-trips semantically (byte
+// identity is not required: varint lengths have non-canonical
+// encodings that decode fine but re-encode minimally).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Marshal(New(R, 1, 2, Int(3))))
+	f.Add(Marshal(New(S, 1<<60, -9, Float(3.25), String("héllo"), Int(-1))))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		tp2, err := Unmarshal(Marshal(tp))
+		if err != nil {
+			t.Fatalf("re-encoded tuple does not decode: %v", err)
+		}
+		if !sameTuple(tp, tp2) {
+			t.Fatalf("semantic round-trip mismatch: %v vs %v", tp, tp2)
+		}
+	})
+}
+
+// FuzzUnmarshalPair does the same for the result-pair codec.
+func FuzzUnmarshalPair(f *testing.F) {
+	pair := AppendBinary(Marshal(New(R, 1, 2, Int(3))), New(S, 4, 5, Int(3)))
+	f.Add(pair)
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, err := UnmarshalPair(data)
+		if err != nil {
+			return
+		}
+		a2, b2, err := UnmarshalPair(AppendBinary(Marshal(a), b))
+		if err != nil {
+			t.Fatalf("re-encoded pair does not decode: %v", err)
+		}
+		if !sameTuple(a, a2) || !sameTuple(b, b2) {
+			t.Fatal("semantic round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Relation identifies which of the two streaming relations a tuple
+// belongs to. The join-biclique model is defined over exactly two
+// relations R and S (Definition 6), so a boolean-like enum suffices.
+type Relation uint8
+
+// The two streaming relations.
+const (
+	R Relation = iota
+	S
+)
+
+// String returns "R" or "S".
+func (r Relation) String() string {
+	if r == R {
+		return "R"
+	}
+	return "S"
+}
+
+// Opposite returns the other relation: tuples of one relation are
+// stored on their own side of the biclique and join-processed on the
+// opposite side.
+func (r Relation) Opposite() Relation {
+	if r == R {
+		return S
+	}
+	return R
+}
+
+// Field describes one attribute of a schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of attributes (Definition 1). The schema is
+// immutable after construction and shared by all tuples of a relation.
+type Schema struct {
+	fields []Field
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given fields. Field names must be
+// unique and non-empty.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: append([]Field(nil), fields...),
+		byName: make(map[string]int, len(fields)),
+	}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("tuple: schema field %d has empty name", i)
+		}
+		if f.Kind == KindInvalid {
+			return nil, fmt.Errorf("tuple: schema field %q has invalid kind", f.Name)
+		}
+		if _, dup := s.byName[f.Name]; dup {
+			return nil, fmt.Errorf("tuple: duplicate schema field %q", f.Name)
+		}
+		s.byName[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and examples
+// with literal schemas.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumFields returns the number of attributes.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th attribute descriptor.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// String renders the schema as "<name kind, ...>".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Kind.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Tuple is one streaming item. TS is the tuple's event timestamp in
+// milliseconds of the virtual time domain; Seq is a source-assigned
+// sequence number useful for debugging and result verification.
+//
+// Tuples are treated as immutable once emitted by a source: routers and
+// joiners share them without copying.
+type Tuple struct {
+	Rel    Relation
+	Seq    uint64
+	TS     int64 // event time, Unix milliseconds in the virtual domain
+	Values []Value
+}
+
+// New allocates a tuple for the given relation.
+func New(rel Relation, seq uint64, ts int64, values ...Value) *Tuple {
+	return &Tuple{Rel: rel, Seq: seq, TS: ts, Values: values}
+}
+
+// Value returns the i-th attribute, or the zero Value if out of range.
+func (t *Tuple) Value(i int) Value {
+	if i < 0 || i >= len(t.Values) {
+		return Value{}
+	}
+	return t.Values[i]
+}
+
+// MemSize estimates the resident size of the tuple in bytes. The joiner
+// uses this to account window memory for the memory-based autoscaling
+// experiments; it intentionally counts Go object overhead so the numbers
+// behave like a real heap.
+func (t *Tuple) MemSize() int {
+	// struct header + slice header + per-value struct; strings add
+	// their backing array.
+	const tupleHeader = 8 /*Rel+pad*/ + 8 /*Seq*/ + 8 /*TS*/ + 24 /*slice hdr*/
+	size := tupleHeader + len(t.Values)*40
+	for _, v := range t.Values {
+		if v.kind == KindString {
+			size += len(v.s)
+		}
+	}
+	return size
+}
+
+// String renders the tuple for logs: "R#17@1234(v1, v2)".
+func (t *Tuple) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d@%d(", t.Rel, t.Seq, t.TS)
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.GoString())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// JoinResult is the concatenation of one R tuple and one S tuple whose
+// attributes satisfied the join predicate (Definition 4). The output
+// timestamp policy follows the text's suggestion of taking the more
+// recent of the two input timestamps, preserving ordering in the derived
+// stream.
+type JoinResult struct {
+	Left  *Tuple // the R-side tuple
+	Right *Tuple // the S-side tuple
+	TS    int64  // max(Left.TS, Right.TS)
+}
+
+// NewJoinResult pairs an R tuple with an S tuple regardless of the order
+// in which the engine discovered them.
+func NewJoinResult(a, b *Tuple) JoinResult {
+	if a.Rel == S {
+		a, b = b, a
+	}
+	ts := a.TS
+	if b.TS > ts {
+		ts = b.TS
+	}
+	return JoinResult{Left: a, Right: b, TS: ts}
+}
+
+// Key returns a canonical identity for the result pair, used by tests to
+// detect duplicate or missing join results (the Fig. 8 error scenarios).
+func (jr JoinResult) Key() [2]uint64 {
+	return [2]uint64{jr.Left.Seq, jr.Right.Seq}
+}
+
+func (jr JoinResult) String() string {
+	return fmt.Sprintf("(%s ⋈ %s)@%d", jr.Left, jr.Right, jr.TS)
+}
+
+// Flatten concatenates the result pair's attributes into a single tuple
+// of the given relation, carrying the result's timestamp. This is how
+// multi-way joins cascade through chained biclique engines: the output
+// of R ⋈ S re-enters a second engine as one of its input relations.
+// Pass seq 0 to let the downstream engine assign one.
+func (jr JoinResult) Flatten(rel Relation, seq uint64) *Tuple {
+	values := make([]Value, 0, len(jr.Left.Values)+len(jr.Right.Values))
+	values = append(values, jr.Left.Values...)
+	values = append(values, jr.Right.Values...)
+	return New(rel, seq, jr.TS, values...)
+}

@@ -1,0 +1,208 @@
+// Package tuple defines the streaming data model of the system: typed
+// attribute values, relation schemas, and the streaming tuples that flow
+// between routers and joiners.
+//
+// The model follows Definitions 1-3 of the source text: a tuple is an
+// instance of a schema E = <e1, ..., eN>; every tuple carries a timestamp
+// drawn from a discrete, totally ordered time domain T, which establishes
+// the natural ordering used by the time-based sliding windows.
+package tuple
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the attribute types supported by the engine.
+type Kind uint8
+
+// Supported attribute kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt          // 64-bit signed integer
+	KindFloat        // IEEE-754 double
+	KindString       // UTF-8 string
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value has
+// KindInvalid and compares unequal to every valid value.
+//
+// Value is a small immutable struct passed by value; it never aliases
+// mutable state, so tuples may be shared freely across goroutines.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns a Value holding an integer.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a Value holding a float.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a Value holding a string.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload; it is only meaningful for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload; for KindInt it converts.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it is only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// IsValid reports whether the value holds a typed payload.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// Equal reports deep equality. Values of different kinds are unequal
+// except for the int/float pair, which compares numerically so that an
+// equi-join across an int attribute and a float attribute behaves as SQL
+// users expect.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindInt:
+			return v.i == o.i
+		case KindFloat:
+			return v.f == o.f
+		case KindString:
+			return v.s == o.s
+		default:
+			return false
+		}
+	}
+	if v.kind == KindInt && o.kind == KindFloat {
+		return float64(v.i) == o.f
+	}
+	if v.kind == KindFloat && o.kind == KindInt {
+		return v.f == float64(o.i)
+	}
+	return false
+}
+
+// Compare orders two values. It returns -1, 0 or +1. Numeric kinds
+// compare numerically with each other; strings compare lexicographically;
+// comparing a string against a numeric value orders the numeric first,
+// which gives a stable (if arbitrary) total order for the tree index.
+func (v Value) Compare(o Value) int {
+	vn, vIsNum := v.numeric()
+	on, oIsNum := o.numeric()
+	switch {
+	case vIsNum && oIsNum:
+		switch {
+		case vn < on:
+			return -1
+		case vn > on:
+			return 1
+		default:
+			return 0
+		}
+	case vIsNum && !oIsNum:
+		return -1
+	case !vIsNum && oIsNum:
+		return 1
+	default:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func (v Value) numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Hash returns a 64-bit hash of the value, suitable for hash-partition
+// routing. Int and Float values that compare Equal hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	switch v.kind {
+	case KindInt:
+		putUint64(buf[:], uint64(v.i))
+		// An integral float must hash like the equal int, because
+		// Equal treats them as the same value.
+		h.Write(buf[:])
+	case KindFloat:
+		if f := v.f; f == math.Trunc(f) && !math.IsInf(f, 0) &&
+			f >= math.MinInt64 && f <= math.MaxInt64 {
+			putUint64(buf[:], uint64(int64(f)))
+		} else {
+			putUint64(buf[:], math.Float64bits(f))
+		}
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Format implements fmt.Formatter by delegating to GoString for %v.
+func (v Value) Format(f fmt.State, verb rune) {
+	fmt.Fprint(f, v.GoString())
+}

@@ -1,0 +1,198 @@
+// Package vclock provides the time substrate shared by every component
+// of the system: a Clock interface satisfied both by the wall clock and
+// by a deterministic simulated clock with an event scheduler.
+//
+// The published experiments run for 60 minutes of wall time on a cloud
+// cluster; under the simulated clock the same control-loop dynamics
+// (workload rate steps, autoscaler periods, window expiry) execute in
+// milliseconds and are perfectly reproducible.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the engine, the workload generators and the
+// cluster simulator.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once
+	// d has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock using the system clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock using time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a simulated clock. Time only moves when Advance or Run is
+// called, which fires due timers in timestamp order. Sim is safe for
+// concurrent use, but the intended pattern for deterministic experiments
+// is single-threaded event-loop style: schedule callbacks, then Run.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	nextID uint64
+}
+
+// NewSim returns a simulated clock starting at the given origin. A zero
+// origin starts at the Unix epoch, which keeps timestamps small and
+// readable in logs.
+func NewSim(origin time.Time) *Sim {
+	if origin.IsZero() {
+		origin = time.Unix(0, 0).UTC()
+	}
+	return &Sim{now: origin}
+}
+
+// Now returns the current simulated instant.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After returns a channel delivering the simulated time when d elapses.
+// The channel has capacity 1 and is sent exactly once.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.Schedule(d, func(t time.Time) { ch <- t })
+	return ch
+}
+
+// Schedule registers fn to run when d has elapsed on the simulated
+// clock. fn runs synchronously inside Advance/Run, in timestamp order;
+// ties are broken by scheduling order, which keeps runs deterministic.
+// It returns a cancel function; cancelling an already-fired timer is a
+// no-op.
+func (s *Sim) Schedule(d time.Duration, fn func(now time.Time)) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	t := &timer{at: s.now.Add(d), id: s.nextID, fn: fn}
+	heap.Push(&s.timers, t)
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t.fn = nil
+	}
+}
+
+// Every registers fn to run every period, starting one period from now,
+// until the returned cancel function is called. It is the building block
+// for control loops (the autoscaler, the punctuation ticker, the metrics
+// scraper).
+func (s *Sim) Every(period time.Duration, fn func(now time.Time)) (cancel func()) {
+	if period <= 0 {
+		panic("vclock: Every requires a positive period")
+	}
+	stopped := false
+	var mu sync.Mutex
+	var rearm func(time.Time)
+	rearm = func(time.Time) {
+		mu.Lock()
+		dead := stopped
+		mu.Unlock()
+		if dead {
+			return
+		}
+		s.Schedule(period, func(now time.Time) {
+			mu.Lock()
+			dead := stopped
+			mu.Unlock()
+			if dead {
+				return
+			}
+			fn(now)
+			rearm(now)
+		})
+	}
+	rearm(s.Now())
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+}
+
+// Advance moves simulated time forward by d, firing every timer that
+// falls due, in order. Callbacks may schedule further timers; those fire
+// too if they fall within the advanced horizon.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	deadline := s.now.Add(d)
+	s.mu.Unlock()
+	s.runUntil(deadline)
+}
+
+// RunUntil advances simulated time to the given instant.
+func (s *Sim) RunUntil(t time.Time) { s.runUntil(t) }
+
+func (s *Sim) runUntil(deadline time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.timers) == 0 || s.timers[0].at.After(deadline) {
+			if deadline.After(s.now) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&s.timers).(*timer)
+		if t.at.After(s.now) {
+			s.now = t.at
+		}
+		now := s.now
+		fn := t.fn
+		s.mu.Unlock()
+		if fn != nil {
+			fn(now)
+		}
+	}
+}
+
+// Pending reports how many timers are scheduled (fired-but-cancelled
+// timers still count until they pop). Useful in tests.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.timers)
+}
+
+type timer struct {
+	at time.Time
+	id uint64
+	fn func(time.Time)
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].id < h[j].id
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

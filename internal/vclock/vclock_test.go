@@ -1,0 +1,176 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("Real.Now in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestSimNowStartsAtOrigin(t *testing.T) {
+	origin := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(origin)
+	if !s.Now().Equal(origin) {
+		t.Errorf("Now = %v, want %v", s.Now(), origin)
+	}
+	if NewSim(time.Time{}).Now().Unix() != 0 {
+		t.Error("zero origin should start at epoch")
+	}
+}
+
+func TestSimAdvanceFiresInOrder(t *testing.T) {
+	s := NewSim(time.Time{})
+	var order []int
+	s.Schedule(3*time.Second, func(time.Time) { order = append(order, 3) })
+	s.Schedule(1*time.Second, func(time.Time) { order = append(order, 1) })
+	s.Schedule(2*time.Second, func(time.Time) { order = append(order, 2) })
+	s.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order = %v", order)
+	}
+	if got := s.Now().Unix(); got != 5 {
+		t.Errorf("Now = %d, want 5", got)
+	}
+}
+
+func TestSimTieBreakIsSchedulingOrder(t *testing.T) {
+	s := NewSim(time.Time{})
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func(time.Time) { order = append(order, i) })
+	}
+	s.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie break order = %v", order)
+		}
+	}
+}
+
+func TestSimCallbackSeesDueTime(t *testing.T) {
+	s := NewSim(time.Time{})
+	var at time.Time
+	s.Schedule(7*time.Second, func(now time.Time) { at = now })
+	s.Advance(time.Minute)
+	if at.Unix() != 7 {
+		t.Errorf("callback time = %v, want t+7s", at)
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(time.Time{})
+	var fired []int64
+	s.Schedule(time.Second, func(now time.Time) {
+		fired = append(fired, now.Unix())
+		s.Schedule(time.Second, func(now time.Time) {
+			fired = append(fired, now.Unix())
+		})
+	})
+	s.Advance(10 * time.Second)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSimCancel(t *testing.T) {
+	s := NewSim(time.Time{})
+	fired := false
+	cancel := s.Schedule(time.Second, func(time.Time) { fired = true })
+	cancel()
+	s.Advance(time.Minute)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	cancel() // double cancel must not panic
+}
+
+func TestSimAfter(t *testing.T) {
+	s := NewSim(time.Time{})
+	ch := s.After(30 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before time advanced")
+	default:
+	}
+	s.Advance(time.Minute)
+	select {
+	case at := <-ch:
+		if at.Unix() != 30 {
+			t.Errorf("After delivered %v", at)
+		}
+	default:
+		t.Fatal("After never delivered")
+	}
+}
+
+func TestSimEvery(t *testing.T) {
+	s := NewSim(time.Time{})
+	var ticks []int64
+	cancel := s.Every(10*time.Second, func(now time.Time) {
+		ticks = append(ticks, now.Unix())
+	})
+	s.Advance(35 * time.Second)
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 30 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	cancel()
+	s.Advance(time.Minute)
+	if len(ticks) != 3 {
+		t.Errorf("ticks after cancel = %v", ticks)
+	}
+}
+
+func TestSimEveryPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSim(time.Time{}).Every(0, func(time.Time) {})
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim(time.Time{})
+	n := 0
+	s.Every(time.Second, func(time.Time) { n++ })
+	s.RunUntil(time.Unix(100, 0))
+	if n != 100 {
+		t.Errorf("ticks = %d, want 100", n)
+	}
+	if s.Pending() == 0 {
+		t.Error("Every should keep a timer pending")
+	}
+}
+
+func TestSimAdvanceZero(t *testing.T) {
+	s := NewSim(time.Time{})
+	fired := false
+	s.Schedule(0, func(time.Time) { fired = true })
+	s.Advance(0)
+	if !fired {
+		t.Error("zero-delay timer should fire on Advance(0)")
+	}
+}
+
+func TestSimNegativeDelayClamps(t *testing.T) {
+	s := NewSim(time.Time{})
+	fired := false
+	s.Schedule(-time.Hour, func(time.Time) { fired = true })
+	s.Advance(0)
+	if !fired {
+		t.Error("negative delay should clamp to now")
+	}
+}

@@ -1,0 +1,85 @@
+// Package window implements time-based sliding window semantics
+// (Definition 4 of the source text) and the safe-expiry rule of
+// Theorem 1: a stored tuple r of relation R may be discarded once an
+// incoming opposite-relation tuple s satisfies s.ts - r.ts > W.
+//
+// A window may also be unbounded (the full-history join mode §2.2
+// attributes to some systems, which BiStream supports alongside
+// windowed joins): every pair is in-window and nothing ever expires.
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sliding is a time-based sliding window of fixed span. Timestamps are
+// Unix milliseconds in the engine's (virtual) time domain. A
+// non-positive span means unbounded (full history); construct one with
+// Unbounded to make the intent explicit.
+type Sliding struct {
+	Span time.Duration
+}
+
+// NewSliding returns a window of the given span; span must be positive.
+func NewSliding(span time.Duration) (Sliding, error) {
+	if span <= 0 {
+		return Sliding{}, fmt.Errorf("window: span must be positive, got %v (use Unbounded for full history)", span)
+	}
+	return Sliding{Span: span}, nil
+}
+
+// Unbounded returns the full-history window: joins match the entire
+// accumulated stream and no state is ever discarded.
+func Unbounded() Sliding { return Sliding{Span: 0} }
+
+// IsUnbounded reports whether the window is the full-history window.
+func (w Sliding) IsUnbounded() bool { return w.Span <= 0 }
+
+// SpanMillis returns the window span in milliseconds.
+func (w Sliding) SpanMillis() int64 { return w.Span.Milliseconds() }
+
+// Contains reports whether a stored tuple with timestamp storedTS is
+// still inside the window relative to the reference timestamp refTS
+// (the latest tuple seen). Pairs match when they are within the span in
+// either direction, covering both arrival orders of Figure 8. An
+// unbounded window contains everything.
+func (w Sliding) Contains(storedTS, refTS int64) bool {
+	if w.IsUnbounded() {
+		return true
+	}
+	d := refTS - storedTS
+	if d < 0 {
+		d = -d
+	}
+	return d <= w.SpanMillis()
+}
+
+// Expired applies Theorem 1: storedTS may be discarded once an
+// opposite-relation tuple with timestamp oppTS satisfies
+// oppTS - storedTS > span. Tuples from the future (storedTS > oppTS)
+// are never expired, and nothing expires from an unbounded window.
+func (w Sliding) Expired(storedTS, oppTS int64) bool {
+	if w.IsUnbounded() {
+		return false
+	}
+	return oppTS-storedTS > w.SpanMillis()
+}
+
+// Cutoff returns the largest timestamp that is expired relative to
+// oppTS: every stored tuple with ts <= Cutoff(oppTS) is safe to
+// discard. For an unbounded window it returns math.MinInt64 (nothing).
+func (w Sliding) Cutoff(oppTS int64) int64 {
+	if w.IsUnbounded() {
+		return -1 << 63
+	}
+	return oppTS - w.SpanMillis() - 1
+}
+
+// String renders the window ("10m sliding window").
+func (w Sliding) String() string {
+	if w.IsUnbounded() {
+		return "full-history (unbounded) window"
+	}
+	return fmt.Sprintf("%v sliding window", w.Span)
+}

@@ -1,0 +1,112 @@
+package window
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewSliding(t *testing.T) {
+	w, err := NewSliding(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SpanMillis() != 600000 {
+		t.Errorf("SpanMillis = %d", w.SpanMillis())
+	}
+	if _, err := NewSliding(0); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := NewSliding(-time.Second); err == nil {
+		t.Error("negative span accepted")
+	}
+	if !strings.Contains(w.String(), "10m") {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestContains(t *testing.T) {
+	w := Sliding{Span: time.Second} // 1000 ms
+	cases := []struct {
+		stored, ref int64
+		want        bool
+	}{
+		{0, 0, true},
+		{0, 1000, true},
+		{0, 1001, false},
+		{1000, 0, true}, // future tuples count as in-window
+		{1001, 0, false},
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.stored, c.ref); got != c.want {
+			t.Errorf("Contains(%d, %d) = %v, want %v", c.stored, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestExpired(t *testing.T) {
+	w := Sliding{Span: time.Second}
+	if w.Expired(0, 1000) {
+		t.Error("exactly at window edge should not be expired")
+	}
+	if !w.Expired(0, 1001) {
+		t.Error("past window edge should be expired")
+	}
+	if w.Expired(5000, 1000) {
+		t.Error("future tuple should never be expired")
+	}
+}
+
+// Theorem 1 safety: a tuple that is expired can never again satisfy the
+// window constraint against the current or any later opposite tuple.
+func TestExpiredImpliesNotContained(t *testing.T) {
+	w := Sliding{Span: 30 * time.Second}
+	f := func(stored, opp int32, later uint16) bool {
+		s, o := int64(stored), int64(opp)
+		if !w.Expired(s, o) {
+			return true
+		}
+		return !w.Contains(s, o+int64(later))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutoffConsistentWithExpired(t *testing.T) {
+	w := Sliding{Span: time.Minute}
+	f := func(stored, opp int32) bool {
+		s, o := int64(stored), int64(opp)
+		return w.Expired(s, o) == (s <= w.Cutoff(o))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnboundedWindow(t *testing.T) {
+	w := Unbounded()
+	if !w.IsUnbounded() {
+		t.Fatal("Unbounded() not unbounded")
+	}
+	if (Sliding{Span: time.Second}).IsUnbounded() {
+		t.Error("bounded window claims unbounded")
+	}
+	// Everything is contained, nothing expires, regardless of distance.
+	if !w.Contains(0, 1<<60) || !w.Contains(1<<60, 0) {
+		t.Error("unbounded window should contain everything")
+	}
+	if w.Expired(0, 1<<60) {
+		t.Error("nothing expires from an unbounded window")
+	}
+	if w.Cutoff(1<<60) != -1<<63 {
+		t.Errorf("Cutoff = %d", w.Cutoff(1<<60))
+	}
+	if !strings.Contains(w.String(), "full-history") {
+		t.Errorf("String = %q", w.String())
+	}
+	if _, err := NewSliding(0); err == nil {
+		t.Error("NewSliding(0) should refuse; Unbounded is explicit")
+	}
+}

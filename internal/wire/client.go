@@ -1,0 +1,450 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"bistream/internal/broker"
+)
+
+// Client is a broker.Client talking to a remote brokerd over one TCP
+// connection. It is safe for concurrent use: requests are correlated by
+// id and deliveries are demultiplexed to per-consumer channels. The
+// client assigns consumer ids itself and registers the consumer before
+// sending the Consume request, so no delivery can race past
+// registration.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes frames onto the socket
+
+	mu        sync.Mutex
+	nextReq   uint64
+	nextCons  uint64
+	pending   map[uint64]chan response
+	consumers map[uint64]*remoteConsumer
+	closed    bool
+}
+
+type response struct {
+	err   error
+	stats broker.QueueStats
+	kind  byte
+}
+
+// Dial connects to a brokerd at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:      conn,
+		pending:   make(map[uint64]chan response),
+		consumers: make(map[uint64]*remoteConsumer),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close drops the connection; outstanding requests fail and consumer
+// channels close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var frame []byte
+		frame, err = readFrame(c.conn)
+		if err != nil {
+			break
+		}
+		if err = c.dispatch(frame); err != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	c.closed = true
+	pend := c.pending
+	c.pending = map[uint64]chan response{}
+	cons := c.consumers
+	c.consumers = map[uint64]*remoteConsumer{}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- response{err: fmt.Errorf("wire: connection lost: %w", err)}
+	}
+	for _, rc := range cons {
+		rc.finish()
+	}
+	c.conn.Close()
+}
+
+func (c *Client) dispatch(frame []byte) error {
+	if len(frame) == 0 {
+		return fmt.Errorf("wire: empty frame")
+	}
+	op := frame[0]
+	r := &reader{buf: frame[1:]}
+	switch op {
+	case opReply:
+		reqID := r.uint64()
+		msg := r.string()
+		if r.err != nil {
+			return r.err
+		}
+		c.complete(reqID, response{kind: opReply, err: remoteError(msg)})
+	case opConsumeOK:
+		reqID := r.uint64()
+		if r.err != nil {
+			return r.err
+		}
+		c.complete(reqID, response{kind: opConsumeOK})
+	case opStatsReply:
+		reqID := r.uint64()
+		msg := r.string()
+		st := r.stats()
+		if r.err != nil {
+			return r.err
+		}
+		c.complete(reqID, response{kind: opStatsReply, err: remoteError(msg), stats: st})
+	case opDeliver:
+		id := r.uint64()
+		tag := r.uint64()
+		redelivered := r.bool()
+		queue := r.string()
+		exchange := r.string()
+		key := r.string()
+		headers := r.headers()
+		body := r.bytes()
+		if r.err != nil {
+			return r.err
+		}
+		c.mu.Lock()
+		rc := c.consumers[id]
+		c.mu.Unlock()
+		if rc != nil {
+			rc.push(broker.Delivery{
+				Message: broker.Message{
+					Exchange:   exchange,
+					RoutingKey: key,
+					Headers:    headers,
+					Body:       body,
+				},
+				Queue:       queue,
+				Tag:         tag,
+				Redelivered: redelivered,
+			})
+		}
+	case opConsumerEOF:
+		id := r.uint64()
+		if r.err != nil {
+			return r.err
+		}
+		c.mu.Lock()
+		rc := c.consumers[id]
+		delete(c.consumers, id)
+		c.mu.Unlock()
+		if rc != nil {
+			rc.finish()
+		}
+	default:
+		return fmt.Errorf("wire: unexpected opcode %d from server", op)
+	}
+	return nil
+}
+
+func (c *Client) complete(reqID uint64, resp response) {
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- resp
+	}
+}
+
+// remoteError maps an error string from the server back to the broker's
+// sentinel errors where possible, so errors.Is keeps working across the
+// wire.
+func remoteError(msg string) error {
+	if msg == "" {
+		return nil
+	}
+	for _, sentinel := range []error{
+		broker.ErrClosed, broker.ErrNoExchange, broker.ErrNoQueue,
+		broker.ErrExchangeExists, broker.ErrQueueExists,
+		broker.ErrConsumerClosed, broker.ErrUnknownDelivery,
+	} {
+		if strings.HasPrefix(msg, sentinel.Error()) {
+			if msg == sentinel.Error() {
+				return sentinel
+			}
+			return fmt.Errorf("%w%s", sentinel, strings.TrimPrefix(msg, sentinel.Error()))
+		}
+	}
+	return errors.New(msg)
+}
+
+// call sends a request frame and waits for its correlated response.
+func (c *Client) call(payload []byte, reqID uint64) (response, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return response{}, broker.ErrClosed
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return response{}, err
+	}
+	return <-ch, nil
+}
+
+func (c *Client) newRequest(op byte) ([]byte, uint64) {
+	c.mu.Lock()
+	c.nextReq++
+	id := c.nextReq
+	c.mu.Unlock()
+	payload := []byte{op}
+	payload = binary.LittleEndian.AppendUint64(payload, id)
+	return payload, id
+}
+
+func (c *Client) simpleCall(payload []byte, id uint64) error {
+	resp, err := c.call(payload, id)
+	if err != nil {
+		return err
+	}
+	return resp.err
+}
+
+// DeclareExchange implements broker.Client.
+func (c *Client) DeclareExchange(name string, kind broker.ExchangeKind) error {
+	payload, id := c.newRequest(opDeclareExchange)
+	payload = appendString(payload, name)
+	payload = append(payload, byte(kind))
+	return c.simpleCall(payload, id)
+}
+
+// DeclareQueue implements broker.Client.
+func (c *Client) DeclareQueue(name string, opts broker.QueueOptions) error {
+	payload, id := c.newRequest(opDeclareQueue)
+	payload = appendString(payload, name)
+	payload = append(payload, boolByte(opts.AutoDelete))
+	payload = binary.AppendUvarint(payload, uint64(opts.MaxLen))
+	payload = append(payload, boolByte(opts.Durable))
+	return c.simpleCall(payload, id)
+}
+
+// DeleteQueue implements broker.Client.
+func (c *Client) DeleteQueue(name string) error {
+	payload, id := c.newRequest(opDeleteQueue)
+	payload = appendString(payload, name)
+	return c.simpleCall(payload, id)
+}
+
+// Bind implements broker.Client.
+func (c *Client) Bind(queue, exchange, routingKey string) error {
+	payload, id := c.newRequest(opBind)
+	payload = appendString(payload, queue)
+	payload = appendString(payload, exchange)
+	payload = appendString(payload, routingKey)
+	return c.simpleCall(payload, id)
+}
+
+// Publish implements broker.Client. The call blocks until the server
+// acknowledges routing, so broker backpressure propagates to the remote
+// producer.
+func (c *Client) Publish(exchange, routingKey string, headers map[string]string, body []byte) error {
+	payload, id := c.newRequest(opPublish)
+	payload = appendString(payload, exchange)
+	payload = appendString(payload, routingKey)
+	payload = appendHeaders(payload, headers)
+	payload = appendBytes(payload, body)
+	return c.simpleCall(payload, id)
+}
+
+// Consume implements broker.Client.
+func (c *Client) Consume(queue string, prefetch int, autoAck bool) (broker.Consumer, error) {
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, broker.ErrClosed
+	}
+	c.nextCons++
+	consID := c.nextCons
+	rc := newRemoteConsumer(c, consID)
+	c.consumers[consID] = rc
+	c.mu.Unlock()
+
+	payload, id := c.newRequest(opConsume)
+	payload = binary.LittleEndian.AppendUint64(payload, consID)
+	payload = appendString(payload, queue)
+	payload = binary.AppendUvarint(payload, uint64(prefetch))
+	payload = append(payload, boolByte(autoAck))
+	resp, err := c.call(payload, id)
+	if err == nil && resp.err != nil {
+		err = resp.err
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.consumers, consID)
+		c.mu.Unlock()
+		rc.finish()
+		return nil, err
+	}
+	return rc, nil
+}
+
+// QueueStats implements broker.Client.
+func (c *Client) QueueStats(queue string) (broker.QueueStats, error) {
+	payload, id := c.newRequest(opQueueStats)
+	payload = appendString(payload, queue)
+	resp, err := c.call(payload, id)
+	if err != nil {
+		return broker.QueueStats{}, err
+	}
+	return resp.stats, resp.err
+}
+
+// remoteConsumer buffers deliveries without bound between the read loop
+// and the application, so a slow application can never stall the
+// client's read loop (which also carries request replies). The server
+// side enforces prefetch, keeping the buffer small in practice.
+type remoteConsumer struct {
+	c    *Client
+	id   uint64
+	ch   chan broker.Delivery
+	dead chan struct{} // closed on Cancel: the forwarder must not block
+	once sync.Once
+
+	mu     sync.Mutex
+	buf    []broker.Delivery
+	eof    bool
+	notify chan struct{}
+}
+
+func newRemoteConsumer(c *Client, id uint64) *remoteConsumer {
+	rc := &remoteConsumer{
+		c:      c,
+		id:     id,
+		ch:     make(chan broker.Delivery),
+		dead:   make(chan struct{}),
+		notify: make(chan struct{}, 1),
+	}
+	go rc.forward()
+	return rc
+}
+
+// push is called from the client's read loop; it never blocks.
+func (rc *remoteConsumer) push(d broker.Delivery) {
+	rc.mu.Lock()
+	rc.buf = append(rc.buf, d)
+	rc.mu.Unlock()
+	rc.wake()
+}
+
+// finish marks end-of-stream; buffered deliveries still drain.
+func (rc *remoteConsumer) finish() {
+	rc.mu.Lock()
+	rc.eof = true
+	rc.mu.Unlock()
+	rc.wake()
+}
+
+func (rc *remoteConsumer) wake() {
+	select {
+	case rc.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (rc *remoteConsumer) forward() {
+	for {
+		rc.mu.Lock()
+		if len(rc.buf) == 0 {
+			eof := rc.eof
+			rc.mu.Unlock()
+			if eof {
+				close(rc.ch)
+				return
+			}
+			select {
+			case <-rc.notify:
+			case <-rc.dead:
+				close(rc.ch)
+				return
+			}
+			continue
+		}
+		d := rc.buf[0]
+		rc.buf = rc.buf[1:]
+		rc.mu.Unlock()
+		select {
+		case rc.ch <- d:
+		case <-rc.dead:
+			// Cancelled with an unread buffer and no reader: drop the
+			// remainder rather than leak this goroutine. The server has
+			// already settled or requeued as appropriate.
+			close(rc.ch)
+			return
+		}
+	}
+}
+
+// Deliveries implements broker.Consumer.
+func (rc *remoteConsumer) Deliveries() <-chan broker.Delivery { return rc.ch }
+
+// Ack implements broker.Consumer.
+func (rc *remoteConsumer) Ack(tag uint64) error {
+	payload, id := rc.c.newRequest(opAck)
+	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
+	payload = binary.LittleEndian.AppendUint64(payload, tag)
+	return rc.c.simpleCall(payload, id)
+}
+
+// Nack implements broker.Consumer.
+func (rc *remoteConsumer) Nack(tag uint64, requeue bool) error {
+	payload, id := rc.c.newRequest(opNack)
+	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
+	payload = binary.LittleEndian.AppendUint64(payload, tag)
+	payload = append(payload, boolByte(requeue))
+	return rc.c.simpleCall(payload, id)
+}
+
+// Cancel implements broker.Consumer.
+func (rc *remoteConsumer) Cancel() error {
+	payload, id := rc.c.newRequest(opCancel)
+	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
+	err := rc.c.simpleCall(payload, id)
+	rc.c.mu.Lock()
+	delete(rc.c.consumers, rc.id)
+	rc.c.mu.Unlock()
+	rc.once.Do(func() { close(rc.dead) })
+	rc.finish()
+	return err
+}

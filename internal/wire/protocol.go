@@ -1,0 +1,240 @@
+// Package wire exposes the in-process broker over TCP with a compact
+// length-prefixed binary protocol, in the role AMQP's wire level plays
+// for RabbitMQ: cmd/brokerd serves a broker.Broker, and Client
+// implements broker.Client against a remote brokerd, so the router and
+// joiner services run unchanged as separate OS processes or containers.
+//
+// Framing: every frame is a 4-byte big-endian payload length followed by
+// the payload; the first payload byte is the opcode. Strings and byte
+// slices are uvarint-length-prefixed. Requests carry a client-assigned
+// correlation id echoed by the matching reply. Deliveries are
+// server-initiated frames carrying the server-side consumer id.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"bistream/internal/broker"
+)
+
+// Opcodes. Client→server requests are even-numbered conceptually; the
+// numbering only needs to be stable, not meaningful.
+const (
+	opDeclareExchange byte = iota + 1
+	opDeclareQueue
+	opDeleteQueue
+	opBind
+	opPublish
+	opConsume
+	opAck
+	opNack
+	opCancel
+	opQueueStats
+
+	opReply      // generic ok/error reply: reqID, errString
+	opConsumeOK  // reqID, consumerID
+	opStatsReply // reqID, errString, stats
+	opDeliver    // consumerID, delivery
+	opConsumerEOF
+)
+
+// maxFrame bounds a single frame; tuples are small, so anything larger
+// indicates a corrupt stream.
+const maxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one frame. The caller must serialize writes.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// --- encoding helpers ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendHeaders(dst []byte, h map[string]string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(h)))
+	for k, v := range h {
+		dst = appendString(dst, k)
+		dst = appendString(dst, v)
+	}
+	return dst
+}
+
+// reader decodes fields sequentially and remembers the first error, so
+// call sites stay linear.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s", what)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail("byte")
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *reader) bool() bool { return r.byte() != 0 }
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("bytes")
+		return nil
+	}
+	b := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) headers() map[string]string {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("headers")
+		return nil
+	}
+	h := make(map[string]string, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.string()
+		v := r.string()
+		h[k] = v
+	}
+	return h
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// encodeStats flattens QueueStats; floats travel as IEEE bits.
+func encodeStats(dst []byte, st broker.QueueStats) []byte {
+	dst = appendString(dst, st.Name)
+	dst = binary.AppendUvarint(dst, uint64(st.Ready))
+	dst = binary.AppendUvarint(dst, uint64(st.Unacked))
+	dst = binary.AppendUvarint(dst, uint64(st.Consumers))
+	dst = binary.AppendUvarint(dst, uint64(st.Published))
+	dst = binary.AppendUvarint(dst, uint64(st.Delivered))
+	dst = binary.AppendUvarint(dst, uint64(st.Acked))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.InRate))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.OutRate))
+	return dst
+}
+
+func (r *reader) stats() broker.QueueStats {
+	var st broker.QueueStats
+	st.Name = r.string()
+	st.Ready = int(r.uvarint())
+	st.Unacked = int(r.uvarint())
+	st.Consumers = int(r.uvarint())
+	st.Published = int64(r.uvarint())
+	st.Delivered = int64(r.uvarint())
+	st.Acked = int64(r.uvarint())
+	st.InRate = math.Float64frombits(r.uint64())
+	st.OutRate = math.Float64frombits(r.uint64())
+	return st
+}

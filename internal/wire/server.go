@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"bistream/internal/broker"
+)
+
+// Server accepts TCP connections and executes broker operations on
+// behalf of remote clients. One Server fronts one broker.Broker.
+type Server struct {
+	b      *broker.Broker
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps the broker. Call Serve to start accepting.
+func NewServer(b *broker.Broker, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{b: b, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the address and starts serving in background goroutines.
+// It returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and drops all connections. The broker itself
+// is not closed; it may be shared.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// session is the per-connection state: its consumers and a write lock
+// serializing frames onto the socket.
+type session struct {
+	srv       *Server
+	conn      net.Conn
+	writeMu   sync.Mutex
+	mu        sync.Mutex
+	consumers map[uint64]broker.Consumer
+	wg        sync.WaitGroup
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	sess := &session{srv: s, conn: conn, consumers: make(map[uint64]broker.Consumer)}
+	defer sess.teardown()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: connection %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := sess.handle(frame); err != nil {
+			s.logf("wire: connection %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (sess *session) teardown() {
+	sess.mu.Lock()
+	consumers := make([]broker.Consumer, 0, len(sess.consumers))
+	for _, c := range sess.consumers {
+		consumers = append(consumers, c)
+	}
+	sess.consumers = map[uint64]broker.Consumer{}
+	sess.mu.Unlock()
+	for _, c := range consumers {
+		c.Cancel()
+	}
+	sess.conn.Close()
+	sess.wg.Wait()
+	sess.srv.mu.Lock()
+	delete(sess.srv.conns, sess.conn)
+	sess.srv.mu.Unlock()
+}
+
+func (sess *session) send(payload []byte) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	return writeFrame(sess.conn, payload)
+}
+
+func (sess *session) reply(reqID uint64, err error) error {
+	payload := []byte{opReply}
+	payload = binary.LittleEndian.AppendUint64(payload, reqID)
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	payload = appendString(payload, msg)
+	return sess.send(payload)
+}
+
+func (sess *session) handle(frame []byte) error {
+	op := frame[0]
+	r := &reader{buf: frame[1:]}
+	reqID := r.uint64()
+	b := sess.srv.b
+	switch op {
+	case opDeclareExchange:
+		name := r.string()
+		kind := broker.ExchangeKind(r.byte())
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, b.DeclareExchange(name, kind))
+	case opDeclareQueue:
+		name := r.string()
+		autoDelete := r.bool()
+		maxLen := int(r.uvarint())
+		durable := r.bool()
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, b.DeclareQueue(name, broker.QueueOptions{
+			AutoDelete: autoDelete, MaxLen: maxLen, Durable: durable,
+		}))
+	case opDeleteQueue:
+		name := r.string()
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, b.DeleteQueue(name))
+	case opBind:
+		q := r.string()
+		ex := r.string()
+		key := r.string()
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, b.Bind(q, ex, key))
+	case opPublish:
+		ex := r.string()
+		key := r.string()
+		headers := r.headers()
+		body := r.bytes()
+		if r.err != nil {
+			return r.err
+		}
+		// Publish may block on backpressure; do it inline so TCP reads
+		// pause, propagating the backpressure to the remote publisher.
+		return sess.reply(reqID, b.Publish(ex, key, headers, body))
+	case opConsume:
+		id := r.uint64() // client-assigned consumer id
+		queue := r.string()
+		prefetch := int(r.uvarint())
+		autoAck := r.bool()
+		if r.err != nil {
+			return r.err
+		}
+		cons, err := b.Consume(queue, prefetch, autoAck)
+		if err != nil {
+			return sess.reply(reqID, err)
+		}
+		sess.mu.Lock()
+		sess.consumers[id] = cons
+		sess.mu.Unlock()
+		payload := []byte{opConsumeOK}
+		payload = binary.LittleEndian.AppendUint64(payload, reqID)
+		if err := sess.send(payload); err != nil {
+			cons.Cancel()
+			return err
+		}
+		sess.wg.Add(1)
+		go sess.pumpDeliveries(id, cons)
+		return nil
+	case opAck:
+		id := r.uint64()
+		tag := r.uint64()
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, sess.withConsumer(id, func(c broker.Consumer) error { return c.Ack(tag) }))
+	case opNack:
+		id := r.uint64()
+		tag := r.uint64()
+		requeue := r.bool()
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, sess.withConsumer(id, func(c broker.Consumer) error { return c.Nack(tag, requeue) }))
+	case opCancel:
+		id := r.uint64()
+		if r.err != nil {
+			return r.err
+		}
+		sess.mu.Lock()
+		c, ok := sess.consumers[id]
+		delete(sess.consumers, id)
+		sess.mu.Unlock()
+		var err error
+		if !ok {
+			err = broker.ErrConsumerClosed
+		} else {
+			err = c.Cancel()
+		}
+		return sess.reply(reqID, err)
+	case opQueueStats:
+		name := r.string()
+		if r.err != nil {
+			return r.err
+		}
+		st, err := b.QueueStats(name)
+		payload := []byte{opStatsReply}
+		payload = binary.LittleEndian.AppendUint64(payload, reqID)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		payload = appendString(payload, msg)
+		payload = encodeStats(payload, st)
+		return sess.send(payload)
+	default:
+		return fmt.Errorf("wire: unknown opcode %d", op)
+	}
+}
+
+func (sess *session) withConsumer(id uint64, fn func(broker.Consumer) error) error {
+	sess.mu.Lock()
+	c, ok := sess.consumers[id]
+	sess.mu.Unlock()
+	if !ok {
+		return broker.ErrConsumerClosed
+	}
+	return fn(c)
+}
+
+// pumpDeliveries forwards broker deliveries to the remote client. A
+// blocking socket write backpressures the broker's dispatcher, which is
+// exactly the flow control we want.
+func (sess *session) pumpDeliveries(id uint64, cons broker.Consumer) {
+	defer sess.wg.Done()
+	for d := range cons.Deliveries() {
+		payload := []byte{opDeliver}
+		payload = binary.LittleEndian.AppendUint64(payload, id)
+		payload = binary.LittleEndian.AppendUint64(payload, d.Tag)
+		payload = append(payload, boolByte(d.Redelivered))
+		payload = appendString(payload, d.Queue)
+		payload = appendString(payload, d.Exchange)
+		payload = appendString(payload, d.RoutingKey)
+		payload = appendHeaders(payload, d.Headers)
+		payload = appendBytes(payload, d.Body)
+		if err := sess.send(payload); err != nil {
+			cons.Cancel()
+			return
+		}
+	}
+	payload := []byte{opConsumerEOF}
+	payload = binary.LittleEndian.AppendUint64(payload, id)
+	_ = sess.send(payload)
+}
+
+// ListenAndServe is a convenience for cmd/brokerd: serve until the
+// process exits.
+func ListenAndServe(addr string, b *broker.Broker) error {
+	srv := NewServer(b, log.Printf)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("brokerd listening on %v", bound)
+	select {} // run forever; the process is terminated externally
+}

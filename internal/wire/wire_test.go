@@ -1,0 +1,406 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bistream/internal/broker"
+)
+
+// startPair spins up a broker + server and returns a connected client.
+func startPair(t *testing.T) (*broker.Broker, *Client) {
+	t.Helper()
+	b := broker.New(nil)
+	srv := NewServer(b, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		b.Close()
+	})
+	return b, c
+}
+
+func TestRemoteDeclarePublishConsume(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.DeclareExchange("ex", broker.Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareQueue("q", broker.QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind("q", "ex", "a.*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("ex", "a.b", map[string]string{"k": "v"}, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := c.Consume("q", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-cons.Deliveries():
+		if string(d.Body) != "hello" || d.Headers["k"] != "v" || d.RoutingKey != "a.b" || d.Queue != "q" {
+			t.Errorf("delivery = %+v", d)
+		}
+		if err := cons.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+	st, err := c.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acked != 1 || st.Ready != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRemoteFIFO(t *testing.T) {
+	_, c := startPair(t)
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "#")
+	cons, err := c.Consume("q", 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	go func() {
+		for i := 0; i < n; i++ {
+			c.Publish("ex", "", nil, []byte(fmt.Sprint(i)))
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case d := <-cons.Deliveries():
+			if string(d.Body) != fmt.Sprint(i) {
+				t.Fatalf("delivery %d = %q", i, d.Body)
+			}
+		case <-deadline:
+			t.Fatalf("timed out at %d", i)
+		}
+	}
+}
+
+func TestRemoteErrorsMapToSentinels(t *testing.T) {
+	_, c := startPair(t)
+	if err := c.Publish("missing", "", nil, nil); !errors.Is(err, broker.ErrNoExchange) {
+		t.Errorf("Publish = %v", err)
+	}
+	if _, err := c.Consume("missing", 1, true); !errors.Is(err, broker.ErrNoQueue) {
+		t.Errorf("Consume = %v", err)
+	}
+	c.DeclareExchange("ex", broker.Topic)
+	if err := c.DeclareExchange("ex", broker.Direct); !errors.Is(err, broker.ErrExchangeExists) {
+		t.Errorf("DeclareExchange = %v", err)
+	}
+	if _, err := c.QueueStats("missing"); !errors.Is(err, broker.ErrNoQueue) {
+		t.Errorf("QueueStats = %v", err)
+	}
+	if err := c.DeleteQueue("missing"); !errors.Is(err, broker.ErrNoQueue) {
+		t.Errorf("DeleteQueue = %v", err)
+	}
+}
+
+func TestRemoteNackRequeue(t *testing.T) {
+	_, c := startPair(t)
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "#")
+	cons, _ := c.Consume("q", 1, false)
+	c.Publish("ex", "", nil, []byte("m"))
+	d := <-cons.Deliveries()
+	if err := cons.Nack(d.Tag, true); err != nil {
+		t.Fatal(err)
+	}
+	d2 := <-cons.Deliveries()
+	if string(d2.Body) != "m" {
+		t.Fatalf("requeued = %q", d2.Body)
+	}
+	cons.Ack(d2.Tag)
+}
+
+func TestRemoteCancelClosesChannel(t *testing.T) {
+	_, c := startPair(t)
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "#")
+	cons, _ := c.Consume("q", 1, true)
+	if err := cons.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-cons.Deliveries():
+		if ok {
+			t.Fatal("unexpected delivery")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel never closed")
+	}
+	if err := cons.Ack(1); err == nil {
+		t.Error("Ack after cancel should fail")
+	}
+}
+
+func TestRemoteCompetingConsumersAcrossConnections(t *testing.T) {
+	b := broker.New(nil)
+	srv := NewServer(b, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); b.Close() }()
+	c1, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c1.DeclareExchange("ex", broker.Fanout)
+	c1.DeclareQueue("group", broker.QueueOptions{})
+	c1.Bind("group", "ex", "#")
+	cons1, _ := c1.Consume("group", 4, true)
+	cons2, _ := c2.Consume("group", 4, true)
+
+	const n = 200
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	collect := func(cons broker.Consumer) {
+		defer wg.Done()
+		for d := range cons.Deliveries() {
+			mu.Lock()
+			seen[string(d.Body)]++
+			mu.Unlock()
+		}
+	}
+	go collect(cons1)
+	go collect(cons2)
+	for i := 0; i < n; i++ {
+		if err := c1.Publish("ex", "", nil, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		total := len(seen)
+		mu.Unlock()
+		if total == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d distinct messages seen", total, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cons1.Cancel()
+	cons2.Cancel()
+	wg.Wait()
+	for k, v := range seen {
+		if v != 1 {
+			t.Errorf("message %s delivered %d times", k, v)
+		}
+	}
+}
+
+func TestClientCloseFailsPendingAndClosesConsumers(t *testing.T) {
+	_, c := startPair(t)
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "#")
+	cons, _ := c.Consume("q", 1, true)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-cons.Deliveries():
+		if ok {
+			t.Fatal("unexpected delivery after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer channel never closed after client close")
+	}
+	if err := c.Publish("ex", "", nil, nil); err == nil {
+		t.Error("Publish after close should fail")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	b := broker.New(nil)
+	srv := NewServer(b, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.DeclareExchange("ex", broker.Fanout)
+	srv.Close()
+	// The next call observes the dropped connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.DeclareExchange("ex2", broker.Fanout); err != nil {
+			b.Close()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("client never noticed server close")
+}
+
+func TestServerConsumerCleanupOnDisconnect(t *testing.T) {
+	b := broker.New(nil)
+	srv := NewServer(b, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); b.Close() }()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "#")
+	if _, err := c.Consume("q", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// After the client disconnects, the server cancels its consumers;
+	// the queue should report zero consumers.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := b.QueueStats("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Consumers == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never cleaned up the disconnected consumer")
+}
+
+func TestRemoteBackpressurePropagates(t *testing.T) {
+	// A publish that hits a full queue blocks its own connection (the
+	// wire equivalent of AMQP channel flow control), so the consumer
+	// must use a separate connection.
+	b, c := startPair(t)
+	srvAddr := c.conn.RemoteAddr().String()
+	_ = b
+	c.DeclareExchange("ex", broker.Fanout)
+	c.DeclareQueue("q", broker.QueueOptions{MaxLen: 1})
+	c.Bind("q", "ex", "#")
+	if err := c.Publish("ex", "", nil, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- c.Publish("ex", "", nil, []byte("2")) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("second publish did not block (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c2, err := Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	cons, _ := c2.Consume("q", 1, true)
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < 2 {
+		select {
+		case <-cons.Deliveries():
+			got++
+		case <-deadline:
+			t.Fatal("deliveries stalled")
+		}
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRemotePublish(b *testing.B) {
+	br := broker.New(nil)
+	srv := NewServer(br, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { srv.Close(); br.Close() }()
+	c, err := Dial(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.DeclareExchange("ex", broker.Direct)
+	c.DeclareQueue("q", broker.QueueOptions{})
+	c.Bind("q", "ex", "k")
+	cons, _ := c.Consume("q", 512, true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := 0
+		for range cons.Deliveries() {
+			if n++; n == b.N {
+				return
+			}
+		}
+	}()
+	body := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Publish("ex", "k", nil, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestRemoteDurableQueueOptionTravels(t *testing.T) {
+	b, c := startPair(t)
+	if err := c.DeclareQueue("dur", broker.QueueOptions{Durable: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Redeclaring server-side with the same options must be idempotent —
+	// proving Durable crossed the wire intact.
+	if err := b.DeclareQueue("dur", broker.QueueOptions{Durable: true}); err != nil {
+		t.Fatalf("durable flag lost in transit: %v", err)
+	}
+	if err := b.DeclareQueue("dur", broker.QueueOptions{}); err == nil {
+		t.Fatal("options mismatch not detected")
+	}
+	// Invalid combination is rejected across the wire too.
+	if err := c.DeclareQueue("bad", broker.QueueOptions{Durable: true, AutoDelete: true}); err == nil {
+		t.Error("durable auto-delete accepted over the wire")
+	}
+}

@@ -1,0 +1,251 @@
+// Package workload generates the synthetic two-relation streams the
+// experiments consume: step-function rate profiles (the 300→400→200→300
+// tuples/s schedule of §5.2), key distributions (uniform, zipf,
+// sequential), and a deterministic generator that converts virtual time
+// into batches of stamped tuples.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"bistream/internal/tuple"
+)
+
+// RateStep is one segment of a rate profile: From the given elapsed
+// time onward, emit TuplesPerSec (combined over both relations).
+type RateStep struct {
+	From         time.Duration
+	TuplesPerSec float64
+}
+
+// RateProfile is a piecewise-constant rate schedule.
+type RateProfile []RateStep
+
+// At returns the rate in effect at the given elapsed time.
+func (p RateProfile) At(elapsed time.Duration) float64 {
+	rate := 0.0
+	for _, s := range p {
+		if elapsed >= s.From {
+			rate = s.TuplesPerSec
+		}
+	}
+	return rate
+}
+
+// Validate checks that steps are ordered and non-negative.
+func (p RateProfile) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("workload: empty rate profile")
+	}
+	if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i].From < p[j].From }) {
+		return fmt.Errorf("workload: rate profile steps out of order")
+	}
+	for _, s := range p {
+		if s.TuplesPerSec < 0 {
+			return fmt.Errorf("workload: negative rate %v", s.TuplesPerSec)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule ("300/s@0m → 400/s@10m → ...").
+func (p RateProfile) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = fmt.Sprintf("%.0f/s@%v", s.TuplesPerSec, s.From)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// Fig20Profile is the CPU-autoscaling experiment's input schedule:
+// 300 tuples/s, stepping to 400 at minute 10, 200 at minute 40 and back
+// to 300 at minute 50.
+func Fig20Profile() RateProfile {
+	return RateProfile{
+		{From: 0, TuplesPerSec: 300},
+		{From: 10 * time.Minute, TuplesPerSec: 400},
+		{From: 40 * time.Minute, TuplesPerSec: 200},
+		{From: 50 * time.Minute, TuplesPerSec: 300},
+	}
+}
+
+// Fig21Profile is the memory-autoscaling schedule: the same rates with
+// the first step at minute 15.
+func Fig21Profile() RateProfile {
+	return RateProfile{
+		{From: 0, TuplesPerSec: 300},
+		{From: 15 * time.Minute, TuplesPerSec: 400},
+		{From: 40 * time.Minute, TuplesPerSec: 200},
+		{From: 50 * time.Minute, TuplesPerSec: 300},
+	}
+}
+
+// KeyDist draws join-attribute values.
+type KeyDist interface {
+	Next(rng *rand.Rand) int64
+	String() string
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ N int64 }
+
+// Next implements KeyDist.
+func (u Uniform) Next(rng *rand.Rand) int64 { return rng.Int63n(u.N) }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d)", u.N) }
+
+// Zipf draws keys from a zipfian distribution over [0, N) with skew
+// s > 1 being the rand.Zipf exponent; higher means more skew.
+type Zipf struct {
+	N int64
+	S float64
+	z *rand.Zipf
+}
+
+// NewZipf builds a zipf distribution. s must be > 1 (rand.Zipf's
+// domain); s ≈ 1.0001 approximates the classic θ→1 hot-key workloads.
+func NewZipf(rng *rand.Rand, n int64, s float64) (*Zipf, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must be > 1, got %v", s)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf domain must be positive")
+	}
+	return &Zipf{N: n, S: s, z: rand.NewZipf(rng, s, 1, uint64(n-1))}, nil
+}
+
+// Next implements KeyDist. The embedded source is the one passed to
+// NewZipf; the argument is ignored, kept for interface symmetry.
+func (z *Zipf) Next(*rand.Rand) int64 { return int64(z.z.Uint64()) }
+
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(%d, s=%.2f)", z.N, z.S) }
+
+// Sequential cycles keys 0,1,2,...,N-1,0,... (worst case for caching,
+// best case for balance).
+type Sequential struct {
+	N    int64
+	next int64
+}
+
+// Next implements KeyDist.
+func (s *Sequential) Next(*rand.Rand) int64 {
+	k := s.next % s.N
+	s.next++
+	return k
+}
+
+func (s *Sequential) String() string { return fmt.Sprintf("sequential(%d)", s.N) }
+
+// Config configures a Generator.
+type Config struct {
+	// Profile is the combined input rate over time.
+	Profile RateProfile
+	// Keys draws the join attribute of every tuple.
+	Keys KeyDist
+	// RFraction is the share of tuples belonging to relation R
+	// (default 0.5).
+	RFraction float64
+	// PayloadBytes adds an opaque string attribute of this size to
+	// every tuple, to make memory numbers realistic.
+	PayloadBytes int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Generator converts elapsed virtual time into tuple batches.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	seq      uint64
+	carry    float64 // fractional tuples carried between ticks
+	payload  string
+	start    time.Time
+	prevTick time.Time
+	started  bool
+}
+
+// New builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Keys == nil {
+		return nil, fmt.Errorf("workload: key distribution is required")
+	}
+	if cfg.RFraction <= 0 || cfg.RFraction >= 1 {
+		cfg.RFraction = 0.5
+	}
+	return &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		payload: strings.Repeat("x", cfg.PayloadBytes),
+	}, nil
+}
+
+// Tick emits the batch of tuples due for the interval ending at now.
+// The first call establishes the origin and emits nothing. Fractional
+// tuples carry over, so long runs hit the configured rate exactly.
+func (g *Generator) Tick(now time.Time) []*tuple.Tuple {
+	if !g.started {
+		g.start, g.started = now, true
+		return nil
+	}
+	elapsed := now.Sub(g.start)
+	rate := g.cfg.Profile.At(elapsed)
+	// The batch covers (prevTick, now]; approximate with the rate at
+	// the interval end (profiles are minutes-long, ticks are ~seconds).
+	dt := g.tickSpan(now)
+	g.carry += rate * dt.Seconds()
+	n := int(g.carry)
+	g.carry -= float64(n)
+	return g.emit(now, n)
+}
+
+func (g *Generator) tickSpan(now time.Time) time.Duration {
+	if g.prevTick.IsZero() {
+		g.prevTick = g.start
+	}
+	d := now.Sub(g.prevTick)
+	g.prevTick = now
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Emit generates exactly n tuples stamped at now, bypassing the rate
+// profile (for correctness tests and fixed-size benches).
+func (g *Generator) Emit(now time.Time, n int) []*tuple.Tuple {
+	if !g.started {
+		g.start, g.started = now, true
+	}
+	return g.emit(now, n)
+}
+
+func (g *Generator) emit(now time.Time, n int) []*tuple.Tuple {
+	if n <= 0 {
+		return nil
+	}
+	ts := now.UnixMilli()
+	out := make([]*tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		rel := tuple.S
+		if g.rng.Float64() < g.cfg.RFraction {
+			rel = tuple.R
+		}
+		g.seq++
+		values := []tuple.Value{tuple.Int(g.cfg.Keys.Next(g.rng))}
+		if g.cfg.PayloadBytes > 0 {
+			values = append(values, tuple.String(g.payload))
+		}
+		out = append(out, tuple.New(rel, g.seq, ts, values...))
+	}
+	return out
+}
+
+// Emitted returns how many tuples have been generated.
+func (g *Generator) Emitted() uint64 { return g.seq }

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bistream/internal/tuple"
+)
+
+func TestRateProfileAt(t *testing.T) {
+	p := Fig20Profile()
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 300},
+		{5 * time.Minute, 300},
+		{10 * time.Minute, 400},
+		{39 * time.Minute, 400},
+		{40 * time.Minute, 200},
+		{50 * time.Minute, 300},
+		{time.Hour, 300},
+	}
+	for _, c := range cases {
+		if got := p.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(p.String(), "400/s@10m") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestRateProfileValidate(t *testing.T) {
+	if err := (RateProfile{}).Validate(); err == nil {
+		t.Error("empty profile accepted")
+	}
+	bad := RateProfile{{From: time.Minute, TuplesPerSec: 1}, {From: 0, TuplesPerSec: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-order profile accepted")
+	}
+	neg := RateProfile{{From: 0, TuplesPerSec: -1}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{N: 10}
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		k := u.Next(rng)
+		if k < 0 || k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("key %d drawn %d times, badly unbalanced", k, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipf(rng, 1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[z.Next(nil)]++
+	}
+	if counts[0] < counts[100]*5 {
+		t.Errorf("zipf not skewed: key0=%d key100=%d", counts[0], counts[100])
+	}
+	if _, err := NewZipf(rng, 10, 1.0); err == nil {
+		t.Error("s=1 accepted")
+	}
+	if _, err := NewZipf(rng, 0, 2); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestSequentialDist(t *testing.T) {
+	s := &Sequential{N: 3}
+	got := []int64{s.Next(nil), s.Next(nil), s.Next(nil), s.Next(nil)}
+	want := []int64{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v", got)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := New(Config{Keys: Uniform{N: 10}}); err == nil {
+		t.Error("missing profile accepted")
+	}
+	if _, err := New(Config{Profile: Fig20Profile()}); err == nil {
+		t.Error("missing key dist accepted")
+	}
+}
+
+func TestGeneratorTickHitsRate(t *testing.T) {
+	g, err := New(Config{
+		Profile: RateProfile{{From: 0, TuplesPerSec: 100}},
+		Keys:    Uniform{N: 50},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	g.Tick(now) // origin
+	total := 0
+	for i := 0; i < 60; i++ {
+		now = now.Add(time.Second)
+		total += len(g.Tick(now))
+	}
+	if total != 6000 {
+		t.Errorf("generated %d tuples in 60s at 100/s, want 6000", total)
+	}
+	if g.Emitted() != 6000 {
+		t.Errorf("Emitted = %d", g.Emitted())
+	}
+}
+
+func TestGeneratorFractionalCarry(t *testing.T) {
+	// 0.5 tuples/s over 100 one-second ticks must produce exactly 50.
+	g, _ := New(Config{
+		Profile: RateProfile{{From: 0, TuplesPerSec: 0.5}},
+		Keys:    Uniform{N: 5},
+	})
+	now := time.Unix(0, 0)
+	g.Tick(now)
+	total := 0
+	for i := 0; i < 100; i++ {
+		now = now.Add(time.Second)
+		total += len(g.Tick(now))
+	}
+	if total != 50 {
+		t.Errorf("generated %d, want 50", total)
+	}
+}
+
+func TestGeneratorFollowsProfileSteps(t *testing.T) {
+	g, _ := New(Config{Profile: Fig20Profile(), Keys: Uniform{N: 100}})
+	now := time.Unix(0, 0)
+	g.Tick(now)
+	perMinute := make([]int, 60)
+	for min := 0; min < 60; min++ {
+		for s := 0; s < 60; s++ {
+			now = now.Add(time.Second)
+			perMinute[min] += len(g.Tick(now))
+		}
+	}
+	check := func(min, wantPerSec int) {
+		got := perMinute[min]
+		want := wantPerSec * 60
+		if math.Abs(float64(got-want)) > 2 {
+			t.Errorf("minute %d: %d tuples, want ≈%d", min, got, want)
+		}
+	}
+	check(5, 300)
+	check(20, 400)
+	check(45, 200)
+	check(55, 300)
+}
+
+func TestGeneratorRelationSplitAndStamps(t *testing.T) {
+	g, _ := New(Config{
+		Profile:      RateProfile{{From: 0, TuplesPerSec: 1}},
+		Keys:         Uniform{N: 10},
+		PayloadBytes: 32,
+		Seed:         3,
+	})
+	now := time.Unix(1000, 0)
+	batch := g.Emit(now, 2000)
+	rCount := 0
+	seqs := map[uint64]bool{}
+	for _, tp := range batch {
+		if tp.Rel == tuple.R {
+			rCount++
+		}
+		if tp.TS != now.UnixMilli() {
+			t.Fatalf("tuple ts = %d", tp.TS)
+		}
+		if seqs[tp.Seq] {
+			t.Fatalf("duplicate seq %d", tp.Seq)
+		}
+		seqs[tp.Seq] = true
+		if len(tp.Values) != 2 || len(tp.Values[1].AsString()) != 32 {
+			t.Fatalf("payload missing: %v", tp)
+		}
+	}
+	if rCount < 850 || rCount > 1150 {
+		t.Errorf("R fraction = %d/2000", rCount)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []*tuple.Tuple {
+		g, _ := New(Config{
+			Profile: RateProfile{{From: 0, TuplesPerSec: 1}},
+			Keys:    Uniform{N: 100},
+			Seed:    42,
+		})
+		return g.Emit(time.Unix(0, 0), 100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Rel != b[i].Rel || !a[i].Values[0].Equal(b[i].Values[0]) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
