@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate new changes must pass before merging.
+check: vet build race
+
+# Quick throughput benches (the full experiment suite takes minutes;
+# see EXPERIMENTS.md for `bistream exp all`).
+bench:
+	$(GO) test -bench 'EngineIngest' -benchmem .
+
+clean:
+	$(GO) clean ./...

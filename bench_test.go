@@ -182,6 +182,20 @@ func BenchmarkEngineIngestBand(b *testing.B) {
 }
 
 func benchEngineIngest(b *testing.B, pred bistream.Predicate) {
+	benchEngineIngestTraced(b, pred, -1) // tracing off: the baseline
+}
+
+// BenchmarkEngineIngestEquiTraced is BenchmarkEngineIngestEqui with the
+// default 1-in-64 stage tracing enabled. Compare its ns/op against the
+// untraced benchmark to measure the sampling overhead; the issue budget
+// is <5%:
+//
+//	go test -bench 'EngineIngestEqui(Traced)?$' -benchtime 3s
+func BenchmarkEngineIngestEquiTraced(b *testing.B) {
+	benchEngineIngestTraced(b, bistream.Equi(0, 0), 0) // 0 = default sample rate
+}
+
+func benchEngineIngestTraced(b *testing.B, pred bistream.Predicate, traceSample int) {
 	eng, err := bistream.New(bistream.Config{
 		Predicate:           pred,
 		Window:              time.Minute,
@@ -190,6 +204,7 @@ func benchEngineIngest(b *testing.B, pred bistream.Predicate) {
 		SJoiners:            2,
 		PunctuationInterval: 5 * time.Millisecond,
 		OnResult:            func(bistream.JoinResult) {},
+		TraceSample:         traceSample,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -10,42 +10,99 @@
 // This root package is the public API; it re-exports the engine and its
 // vocabulary types from the internal packages. A minimal session:
 //
-//	eng, err := bistream.New(bistream.Config{
-//	    Predicate: bistream.Equi(0, 0),
-//	    Window:    10 * time.Minute,
-//	    RJoiners:  2,
-//	    SJoiners:  2,
-//	})
+//	eng, err := bistream.New(bistream.Equi(0, 0),
+//	    bistream.WithWindow(10*time.Minute),
+//	    bistream.WithJoiners(2, 2),
+//	)
 //	if err != nil { ... }
 //	if err := eng.Start(); err != nil { ... }
 //	defer eng.Stop()
 //	eng.Ingest(bistream.NewTuple(bistream.R, 0, ts, bistream.Int(42)))
 //	for jr := range eng.Results() { ... }
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduced evaluation.
+// # Migration from the Config-struct API
+//
+// New originally took a core Config struct; it now accepts either form:
+//
+//	bistream.New(bistream.Config{Predicate: p, Window: w}) // still works
+//	bistream.New(p, bistream.WithWindow(w))                // functional options
+//
+// Options may also be combined with a Config base — they are applied on
+// top of it in order. Engine.Stats remains, as a flat shim over the
+// structured, versioned Engine.Snapshot; new code should prefer
+// Snapshot, or scrape the registry (Engine.Metrics, WithMetricsAddr)
+// directly.
+//
+// See DESIGN.md for the system inventory, docs/OPERATIONS.md for the
+// observability endpoints and metric catalog, and EXPERIMENTS.md for
+// the reproduced evaluation.
 package bistream
 
 import (
+	"fmt"
+
 	"bistream/internal/core"
 	"bistream/internal/index"
+	"bistream/internal/metrics"
 	"bistream/internal/predicate"
 	"bistream/internal/tuple"
 )
 
 // Engine is the running join-biclique system. See the internal core
-// package for the full method set: Start, Stop, Ingest, Results,
-// ScaleJoiners, ScaleRouters, Stats, Quiesce.
+// package for the full method set: Start, Stop, Ingest, IngestContext,
+// Results, ScaleJoiners, ScaleRouters, Snapshot, Stats, Metrics,
+// Quiesce.
 type Engine = core.Engine
 
 // Config configures an Engine.
 type Config = core.Config
 
-// Stats aggregates engine counters.
+// Stats aggregates engine counters (flat legacy view; see Snapshot).
 type Stats = core.Stats
 
+// Snapshot is the structured, versioned view of a running engine
+// returned by Engine.Snapshot.
+type Snapshot = core.Snapshot
+
+// RouterView and MemberView are the per-instance entries of Snapshot.
+type (
+	RouterView = core.RouterView
+	MemberView = core.MemberView
+)
+
+// Registry is the named-metric registry engines publish their
+// instruments in; see Engine.Metrics and WithMetrics.
+type Registry = metrics.Registry
+
+// NewRegistry creates an empty metric registry (for WithMetrics).
+func NewRegistry() *Registry { return metrics.NewRegistry() }
+
 // New validates the configuration and assembles an engine.
-func New(cfg Config) (*Engine, error) { return core.New(cfg) }
+//
+// config is either a full Config struct (the original API) or just a
+// Predicate; opts are applied on top in order:
+//
+//	bistream.New(bistream.Config{Predicate: p, Window: w})
+//	bistream.New(p, bistream.WithWindow(w), bistream.WithJoiners(4, 4))
+func New(config any, opts ...Option) (*Engine, error) {
+	var cfg Config
+	switch c := config.(type) {
+	case Config:
+		cfg = c
+	case *Config:
+		cfg = *c
+	case Predicate:
+		cfg.Predicate = c
+	case nil:
+		return nil, fmt.Errorf("bistream: nil config")
+	default:
+		return nil, fmt.Errorf("bistream: config must be a Config or a Predicate, got %T", config)
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(cfg)
+}
 
 // Relation identifies one of the two streaming relations.
 type Relation = tuple.Relation

@@ -15,6 +15,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"bistream/internal/core"
@@ -56,16 +57,17 @@ func usage() {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		predSpec = fs.String("predicate", "equi(0,0)", "join predicate")
-		rate     = fs.Float64("rate", 300, "combined tuples/second")
-		duration = fs.Duration("duration", 10*time.Second, "run length")
-		winSpan  = fs.Duration("window", time.Minute, "sliding window span")
-		routers  = fs.Int("routers", 2, "router instances")
-		rJoiners = fs.Int("r-joiners", 2, "R joiner group size")
-		sJoiners = fs.Int("s-joiners", 2, "S joiner group size")
-		keys     = fs.Int64("keys", 10_000, "join-attribute domain")
-		zipf     = fs.Float64("zipf", 0, "zipf skew (>1 enables)")
-		seed     = fs.Int64("seed", 1, "rng seed")
+		predSpec    = fs.String("predicate", "equi(0,0)", "join predicate")
+		rate        = fs.Float64("rate", 300, "combined tuples/second")
+		duration    = fs.Duration("duration", 10*time.Second, "run length")
+		winSpan     = fs.Duration("window", time.Minute, "sliding window span")
+		routers     = fs.Int("routers", 2, "router instances")
+		rJoiners    = fs.Int("r-joiners", 2, "R joiner group size")
+		sJoiners    = fs.Int("s-joiners", 2, "S joiner group size")
+		keys        = fs.Int64("keys", 10_000, "join-attribute domain")
+		zipf        = fs.Float64("zipf", 0, "zipf skew (>1 enables)")
+		seed        = fs.Int64("seed", 1, "rng seed")
+		metricsAddr = fs.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
 	)
 	fs.Parse(args)
 	pred, err := predicate.Parse(*predSpec)
@@ -74,7 +76,9 @@ func cmdRun(args []string) {
 	}
 	// Each tuple carries its ingest wall time as a trailing attribute so
 	// the sink can report true end-to-end latency (ingest → result).
-	var results int64
+	// results is atomic: the sink goroutine increments it while the main
+	// goroutine reads it after Quiesce.
+	var results atomic.Int64
 	latency := metrics.NewHistogram()
 	eng, err := core.New(core.Config{
 		Predicate:           pred,
@@ -83,8 +87,9 @@ func cmdRun(args []string) {
 		RJoiners:            *rJoiners,
 		SJoiners:            *sJoiners,
 		PunctuationInterval: 5 * time.Millisecond,
+		MetricsAddr:         *metricsAddr,
 		OnResult: func(jr tuple.JoinResult) {
-			results++
+			results.Add(1)
 			newer := jr.Left.Value(len(jr.Left.Values) - 1).AsInt()
 			if r := jr.Right.Value(len(jr.Right.Values) - 1).AsInt(); r > newer {
 				newer = r
@@ -101,6 +106,9 @@ func cmdRun(args []string) {
 		log.Fatal(err)
 	}
 	defer eng.Stop()
+	if addr := eng.MetricsAddr(); addr != "" {
+		log.Printf("metrics on http://%s/metrics", addr)
+	}
 
 	var keyDist workload.KeyDist = workload.Uniform{N: *keys}
 	if *zipf > 1 {
@@ -141,7 +149,7 @@ func cmdRun(args []string) {
 	elapsed := time.Since(start)
 	st := eng.Stats()
 	log.Printf("done in %v: %d tuples in, %d results, %d live window tuples (%.1f MiB)",
-		elapsed.Round(time.Millisecond), st.TuplesIn, results,
+		elapsed.Round(time.Millisecond), st.TuplesIn, results.Load(),
 		st.WindowTuples, float64(st.WindowBytes)/(1<<20))
 	if snap := latency.Snapshot(); snap.Count > 0 {
 		log.Printf("end-to-end latency: p50=%v p95=%v p99=%v max=%v",

@@ -4,6 +4,10 @@
 // (cmd/streamgen) connect to it over the wire protocol; the management
 // API (the 15672 GUI of the text's Figure 18) is served over HTTP.
 //
+// The management HTTP address also serves the observability endpoints:
+// Prometheus text at /metrics (per-queue depth and broker totals), a
+// JSON snapshot at /debug/vars, and net/http/pprof profiles.
+//
 // Usage:
 //
 //	brokerd [-addr :5672] [-mgmt :15672] [-data /var/lib/brokerd]
@@ -15,12 +19,14 @@ import (
 	"net/http"
 
 	"bistream/internal/broker"
+	"bistream/internal/metrics"
+	"bistream/internal/obs"
 	"bistream/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":5672", "wire protocol listen address")
-	mgmt := flag.String("mgmt", ":15672", "management HTTP address (empty to disable)")
+	mgmt := flag.String("mgmt", ":15672", "management + metrics HTTP address (empty to disable)")
 	data := flag.String("data", "", "journal directory for durable queues (empty = in-memory only)")
 	flag.Parse()
 	log.SetPrefix("brokerd: ")
@@ -35,9 +41,14 @@ func main() {
 		b = broker.New(nil)
 	}
 	if *mgmt != "" {
+		reg := metrics.NewRegistry()
+		broker.RegisterMetrics(b, reg)
+		mux := http.NewServeMux()
+		obs.Register(mux, reg)
+		mux.Handle("/", broker.NewMgmtHandler(b))
 		go func() {
-			log.Printf("management API on %s", *mgmt)
-			if err := http.ListenAndServe(*mgmt, broker.NewMgmtHandler(b)); err != nil {
+			log.Printf("management API + /metrics on %s", *mgmt)
+			if err := http.ListenAndServe(*mgmt, mux); err != nil {
 				log.Printf("management API: %v", err)
 			}
 		}()

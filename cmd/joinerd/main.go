@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"bistream/internal/joiner"
+	"bistream/internal/metrics"
+	"bistream/internal/obs"
 	"bistream/internal/predicate"
 	"bistream/internal/tuple"
 	"bistream/internal/window"
@@ -27,14 +29,16 @@ import (
 
 func main() {
 	var (
-		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
-		relFlag    = flag.String("relation", "R", "relation this joiner stores: R or S")
-		id         = flag.Int("id", 0, "member id within the relation's group")
-		predSpec   = flag.String("predicate", "equi(0,0)", "join predicate")
-		winSpan    = flag.Duration("window", 10*time.Minute, "sliding window span")
-		archive    = flag.Duration("archive", 0, "chained index archive period (0 = window/16)")
-		routers    = flag.String("routers", "0", "comma-separated router ids to register")
-		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging period (0 = off)")
+		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address")
+		relFlag     = flag.String("relation", "R", "relation this joiner stores: R or S")
+		id          = flag.Int("id", 0, "member id within the relation's group")
+		predSpec    = flag.String("predicate", "equi(0,0)", "join predicate")
+		winSpan     = flag.Duration("window", 10*time.Minute, "sliding window span")
+		archive     = flag.Duration("archive", 0, "chained index archive period (0 = window/16)")
+		routers     = flag.String("routers", "0", "comma-separated router ids to register")
+		statsEvery  = flag.Duration("stats", 10*time.Second, "stats logging period (0 = off)")
+		metricsAddr = flag.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N tuples through the stage histograms (0 = default, <0 = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("joinerd: ")
@@ -58,12 +62,32 @@ func main() {
 	}
 	defer client.Close()
 
+	reg := metrics.NewRegistry()
+	var tracer *metrics.Tracer
+	if *traceSample >= 0 {
+		every := *traceSample
+		if every == 0 {
+			every = metrics.DefaultTraceSample
+		}
+		tracer = metrics.NewTracer(reg, every)
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
+
 	core, err := joiner.NewCore(joiner.Config{
 		ID:            int32(*id),
 		Rel:           rel,
 		Pred:          pred,
 		Window:        window.Sliding{Span: *winSpan},
 		ArchivePeriod: *archive,
+		Metrics:       reg,
+		Trace:         tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,6 +20,8 @@ import (
 	"os/signal"
 	"time"
 
+	"bistream/internal/metrics"
+	"bistream/internal/obs"
 	"bistream/internal/predicate"
 	"bistream/internal/router"
 	"bistream/internal/tuple"
@@ -30,15 +32,17 @@ import (
 
 func main() {
 	var (
-		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
-		id         = flag.Int("id", 0, "router id (unique per instance)")
-		predSpec   = flag.String("predicate", "equi(0,0)", "join predicate: equi(i,j), band(i,j,w), theta(i,op,j)")
-		winSpan    = flag.Duration("window", 10*time.Minute, "sliding window span")
-		rJoiners   = flag.Int("r-joiners", 1, "R joiner group size (ids 0..n-1)")
-		sJoiners   = flag.Int("s-joiners", 1, "S joiner group size (ids 0..n-1)")
-		rSub       = flag.Int("r-subgroups", 0, "R subgroups (0 = auto: hash if partitionable)")
-		sSub       = flag.Int("s-subgroups", 0, "S subgroups (0 = auto)")
-		punct      = flag.Duration("punctuation", 20*time.Millisecond, "punctuation interval")
+		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address")
+		id          = flag.Int("id", 0, "router id (unique per instance)")
+		predSpec    = flag.String("predicate", "equi(0,0)", "join predicate: equi(i,j), band(i,j,w), theta(i,op,j)")
+		winSpan     = flag.Duration("window", 10*time.Minute, "sliding window span")
+		rJoiners    = flag.Int("r-joiners", 1, "R joiner group size (ids 0..n-1)")
+		sJoiners    = flag.Int("s-joiners", 1, "S joiner group size (ids 0..n-1)")
+		rSub        = flag.Int("r-subgroups", 0, "R subgroups (0 = auto: hash if partitionable)")
+		sSub        = flag.Int("s-subgroups", 0, "S subgroups (0 = auto)")
+		punct       = flag.Duration("punctuation", 20*time.Millisecond, "punctuation interval")
+		metricsAddr = flag.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N tuples through the stage histograms (0 = default, <0 = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("routerd: ")
@@ -53,10 +57,33 @@ func main() {
 	}
 	defer client.Close()
 
+	reg := metrics.NewRegistry()
+	var tracer *metrics.Tracer
+	if *traceSample >= 0 {
+		every := *traceSample
+		if every == 0 {
+			every = metrics.DefaultTraceSample
+		}
+		tracer = metrics.NewTracer(reg, every)
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+	}
+
 	core, err := router.NewCore(router.Config{
-		ID:     int32(*id),
-		Pred:   pred,
-		Window: window.Sliding{Span: *winSpan},
+		ID:      int32(*id),
+		Pred:    pred,
+		Window:  window.Sliding{Span: *winSpan},
+		Metrics: reg,
+		Trace:   tracer,
+		// Standalone routers are the pipeline's ingest edge: sources
+		// publish raw tuples, so sampling stamps happen here.
+		StampIngest: true,
 	})
 	if err != nil {
 		log.Fatal(err)

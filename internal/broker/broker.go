@@ -20,6 +20,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -278,7 +279,13 @@ func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
 		return fmt.Errorf("broker: queue %q cannot be both durable and auto-delete", name)
 	}
 	if q, ok := b.queues[name]; ok {
-		if q.opts != opts {
+		// A declare without a MaxLen bound is passive with respect to an
+		// existing bound: services declaring the shared topology must not
+		// conflict with an owner that installed backpressure on the same
+		// queue (e.g. the engine bounding the entry queue).
+		passive := opts
+		passive.MaxLen = q.opts.MaxLen
+		if q.opts != opts && !(opts.MaxLen == 0 && q.opts == passive) {
 			return fmt.Errorf("%w: %q", ErrQueueExists, name)
 		}
 		return nil
@@ -392,6 +399,17 @@ func (b *Broker) Bind(queueName, exchangeName, routingKey string) error {
 // a MaxLen bound is full, which backpressures fast producers the way a
 // flow-controlled AMQP channel does.
 func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]string, body []byte) error {
+	return b.PublishContext(context.Background(), exchangeName, routingKey, headers, body)
+}
+
+// PublishContext is Publish honoring cancellation: a publish blocked on
+// a full queue returns ctx.Err() when ctx is done. A message already
+// enqueued to some of the matching queues stays enqueued (publishing is
+// not transactional across queues, exactly as in AMQP).
+func (b *Broker) PublishContext(ctx context.Context, exchangeName, routingKey string, headers map[string]string, body []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err // already cancelled: publish nothing
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -418,7 +436,7 @@ func (b *Broker) Publish(exchangeName, routingKey string, headers map[string]str
 	}
 	ex.mu.RUnlock()
 	for _, q := range targets {
-		if err := q.enqueue(msg); err != nil && !errors.Is(err, ErrClosed) {
+		if err := q.enqueueCtx(ctx, msg); err != nil && !errors.Is(err, ErrClosed) {
 			return err
 		}
 	}

@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bistream/internal/metrics"
+)
+
+func TestPublishContextCancelUnblocks(t *testing.T) {
+	b := newTestBroker(t)
+	if err := b.DeclareExchange("ex", Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{MaxLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("q", "ex", "#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("ex", "k", nil, []byte("fill")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- b.PublishContext(ctx, "ex", "k", nil, []byte("blocked"))
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("publish into a full queue returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled publish still blocked")
+	}
+	if st, err := b.QueueStats("q"); err != nil || st.Ready != 1 {
+		t.Fatalf("queue holds %d messages after cancel, want 1 (err %v)", st.Ready, err)
+	}
+}
+
+func TestPublishContextSucceedsWhenSpaceFrees(t *testing.T) {
+	b := newTestBroker(t)
+	if err := b.DeclareExchange("ex", Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{MaxLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("q", "ex", "#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("ex", "k", nil, []byte("fill")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- b.PublishContext(ctx, "ex", "k", nil, []byte("second"))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cons, err := b.Consume("q", 8, true) // auto-ack drains the backlog
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, cons, 2, 2*time.Second)
+	if err := <-errCh; err != nil {
+		t.Fatalf("publish after space freed: %v", err)
+	}
+}
+
+// TestDeclareQueuePassiveMaxLen covers the bound-then-declare pattern
+// the engine uses on the entry queue: a MaxLen-free redeclare of an
+// otherwise identical queue is passive, while any other mismatch still
+// errors.
+func TestDeclareQueuePassiveMaxLen(t *testing.T) {
+	b := newTestBroker(t)
+	if err := b.DeclareQueue("q", QueueOptions{Durable: true, MaxLen: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{Durable: true}); err != nil {
+		t.Fatalf("MaxLen-free redeclare rejected: %v", err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{Durable: true, MaxLen: 32}); !errors.Is(err, ErrQueueExists) {
+		t.Fatalf("conflicting MaxLen redeclare: err = %v, want ErrQueueExists", err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{MaxLen: 64}); !errors.Is(err, ErrQueueExists) {
+		t.Fatalf("durability mismatch redeclare: err = %v, want ErrQueueExists", err)
+	}
+}
+
+func TestBrokerRegisterMetrics(t *testing.T) {
+	b := newTestBroker(t)
+	declare(t, b, "ex", Topic, "q1", "q2")
+	reg := metrics.NewRegistry()
+	RegisterMetrics(b, reg)
+	for i := 0; i < 3; i++ {
+		if err := b.Publish("ex", "k", nil, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byName := map[string]metrics.Sample{}
+	for _, s := range reg.Gather() {
+		byName[s.Name] = s
+	}
+	if s := byName["broker.queue.q1.depth"]; s.Value != 3 {
+		t.Errorf("q1 depth = %v, want 3", s.Value)
+	}
+	if s := byName["broker.queue.depth"]; s.Value != 6 {
+		t.Errorf("total depth = %v, want 6", s.Value)
+	}
+	if s := byName["broker.published"]; s.Value != 6 {
+		t.Errorf("published = %v, want 6", s.Value)
+	}
+	if s := byName["broker.queues"]; s.Value != 2 {
+		t.Errorf("queues = %v, want 2", s.Value)
+	}
+}

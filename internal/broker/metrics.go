@@ -1,0 +1,61 @@
+package broker
+
+import (
+	"context"
+
+	"bistream/internal/metrics"
+)
+
+// RegisterMetrics attaches the broker to a metric registry via a
+// collector: every gather enumerates the live queues and emits
+// per-queue depth/unacked gauges plus broker-wide totals. Queue names
+// are dynamic (members come and go with scale in/out), which is exactly
+// what a collector — unlike fixed named instruments — handles.
+//
+// Emitted series:
+//
+//	broker.queue.<name>.depth     gauge   ready messages
+//	broker.queue.<name>.unacked   gauge   delivered, unacknowledged
+//	broker.queue.depth            gauge   total ready across queues
+//	broker.queue.unacked          gauge   total unacknowledged
+//	broker.published              counter total messages routed in
+//	broker.delivered              counter total messages handed out
+//	broker.acked                  counter total settlements
+//	broker.queues                 gauge   declared queue count
+func RegisterMetrics(b *Broker, reg *metrics.Registry) {
+	reg.AddCollector(func(emit func(metrics.Sample)) {
+		var depth, unacked int64
+		var published, delivered, acked int64
+		names := b.Queues()
+		for _, name := range names {
+			st, err := b.QueueStats(name)
+			if err != nil {
+				continue
+			}
+			emit(metrics.Sample{Name: "broker.queue." + name + ".depth",
+				Kind: metrics.KindGaugeMetric, Value: float64(st.Ready)})
+			emit(metrics.Sample{Name: "broker.queue." + name + ".unacked",
+				Kind: metrics.KindGaugeMetric, Value: float64(st.Unacked)})
+			depth += int64(st.Ready)
+			unacked += int64(st.Unacked)
+			published += st.Published
+			delivered += st.Delivered
+			acked += st.Acked
+		}
+		emit(metrics.Sample{Name: "broker.queue.depth", Kind: metrics.KindGaugeMetric, Value: float64(depth)})
+		emit(metrics.Sample{Name: "broker.queue.unacked", Kind: metrics.KindGaugeMetric, Value: float64(unacked)})
+		emit(metrics.Sample{Name: "broker.published", Kind: metrics.KindCounterMetric, Value: float64(published)})
+		emit(metrics.Sample{Name: "broker.delivered", Kind: metrics.KindCounterMetric, Value: float64(delivered)})
+		emit(metrics.Sample{Name: "broker.acked", Kind: metrics.KindCounterMetric, Value: float64(acked)})
+		emit(metrics.Sample{Name: "broker.queues", Kind: metrics.KindGaugeMetric, Value: float64(len(names))})
+	})
+}
+
+// ContextPublisher is the optional Client capability of publishing with
+// cancellation: a publish blocked on a full (MaxLen-bounded) queue
+// returns ctx.Err() when the context is done instead of waiting for
+// space. The in-process Broker implements it; clients that do not are
+// used via a best-effort pre-publish context check.
+type ContextPublisher interface {
+	PublishContext(ctx context.Context, exchange, routingKey string, headers map[string]string, body []byte) error
+}

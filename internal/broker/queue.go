@@ -2,6 +2,7 @@ package broker
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"bistream/internal/metrics"
@@ -84,9 +85,30 @@ func newQueue(name string, opts QueueOptions, clock vclock.Clock, onEmpty func(*
 
 // enqueue adds a message, blocking while the queue is at MaxLen.
 func (q *queue) enqueue(msg Message) error {
+	return q.enqueueCtx(context.Background(), msg)
+}
+
+// enqueueCtx is enqueue honoring cancellation: when ctx is done while
+// the MaxLen bound blocks, it returns ctx.Err() without enqueueing. A
+// context with no Done channel adds no overhead beyond a nil check.
+func (q *queue) enqueueCtx(ctx context.Context, msg Message) error {
+	if ctx.Done() != nil {
+		// Wake the cond wait when the context fires; Broadcast because
+		// several publishers may be parked with different contexts.
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			q.notFull.Broadcast()
+			q.mu.Unlock()
+		})
+		defer stop()
+	}
 	q.mu.Lock()
-	for q.opts.MaxLen > 0 && q.backlogLocked() >= q.opts.MaxLen && !q.closed {
+	for q.opts.MaxLen > 0 && q.backlogLocked() >= q.opts.MaxLen && !q.closed && ctx.Err() == nil {
 		q.notFull.Wait()
+	}
+	if err := ctx.Err(); err != nil && q.opts.MaxLen > 0 && q.backlogLocked() >= q.opts.MaxLen {
+		q.mu.Unlock()
+		return err
 	}
 	if q.closed {
 		q.mu.Unlock()

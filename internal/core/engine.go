@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,8 @@ import (
 	"bistream/internal/broker"
 	"bistream/internal/index"
 	"bistream/internal/joiner"
+	"bistream/internal/metrics"
+	"bistream/internal/obs"
 	"bistream/internal/predicate"
 	"bistream/internal/router"
 	"bistream/internal/topo"
@@ -79,6 +82,24 @@ type Config struct {
 	ContRand bool
 	// HotFraction is the promotion threshold (default 0.01).
 	HotFraction float64
+	// Metrics is the registry every tier registers its instruments in
+	// (router.<id>.*, joiner.<rel>.<id>.*, engine.*, broker.* when the
+	// engine owns its broker, stage.* trace histograms). Nil creates a
+	// fresh registry, exposed via Engine.Metrics().
+	Metrics *metrics.Registry
+	// MetricsAddr, when non-empty, serves the observability endpoints
+	// (/metrics Prometheus text, /debug/vars JSON, /debug/pprof) for
+	// the engine's registry over HTTP. ":0" picks a free port;
+	// Engine.MetricsAddr reports the bound address.
+	MetricsAddr string
+	// TraceSample samples one in N ingested tuples for per-stage
+	// latency tracing (stage.route … stage.e2e histograms). Zero uses
+	// metrics.DefaultTraceSample; negative disables tracing.
+	TraceSample int
+	// EntryBound caps the entry queue's backlog (broker MaxLen):
+	// Ingest blocks — or IngestContext cancels — once that many raw
+	// tuples are unrouted. Zero leaves the entry queue unbounded.
+	EntryBound int
 }
 
 func (c *Config) applyDefaults() error {
@@ -164,6 +185,13 @@ type Engine struct {
 	client  broker.Client
 	results chan tuple.JoinResult
 	hot     *router.HotTracker // shared ContRand tracker, nil if disabled
+	reg     *metrics.Registry
+	tracer  *metrics.Tracer // nil when tracing is disabled
+
+	// tuplesIn and resultsN are registry counters (atomic), so Stats
+	// and the exporter read them without taking e.mu.
+	tuplesIn *metrics.Counter // engine.tuples_in
+	resultsN *metrics.Counter // engine.results
 
 	mu       sync.Mutex
 	routers  []*router.Service
@@ -173,8 +201,7 @@ type Engine struct {
 	nextRtr  int32
 	nextJid  [2]int32
 	seq      uint64
-	tuplesIn int64
-	resultsN int64
+	obsSrv   *obs.Server
 	sinkCons broker.Consumer
 	sinkDone chan struct{}
 	sinkStop chan struct{}
@@ -234,7 +261,60 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.OnResult == nil {
 		e.results = make(chan tuple.JoinResult, cfg.ResultBuffer)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+		e.cfg.Metrics = cfg.Metrics
+	}
+	e.reg = cfg.Metrics
+	if cfg.TraceSample >= 0 {
+		every := cfg.TraceSample
+		if every == 0 {
+			every = metrics.DefaultTraceSample
+		}
+		e.tracer = metrics.NewTracer(e.reg, every)
+	}
+	e.tuplesIn = e.reg.Counter("engine.tuples_in")
+	e.resultsN = e.reg.Counter("engine.results")
+	e.reg.GaugeFunc("engine.routers", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.routers))
+	})
+	e.reg.GaugeFunc("engine.joiners.R", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.rJoiners))
+	})
+	e.reg.GaugeFunc("engine.joiners.S", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.sJoiners))
+	})
+	e.reg.GaugeFunc("engine.sealed", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.sealed))
+	})
+	if e.ownB != nil {
+		broker.RegisterMetrics(e.ownB, e.reg)
+	}
 	return e, nil
+}
+
+// Metrics returns the engine's metric registry. All tiers register
+// their instruments here; obs.Handler(e.Metrics()) serves it over HTTP.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// MetricsAddr returns the bound address of the engine's observability
+// server, or "" when Config.MetricsAddr was empty or the engine has
+// not started.
+func (e *Engine) MetricsAddr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.obsSrv == nil {
+		return ""
+	}
+	return e.obsSrv.Addr()
 }
 
 // Start declares the topology and launches routers, joiners and the
@@ -244,6 +324,16 @@ func (e *Engine) Start() error {
 	defer e.mu.Unlock()
 	if e.started {
 		return errors.New("core: engine already started")
+	}
+	// Bound the entry queue before topo.Declare's unbounded declare:
+	// the broker treats a MaxLen-free redeclare of an otherwise
+	// identical queue as passive, so declaration order sets the bound.
+	if e.cfg.EntryBound > 0 {
+		if err := e.client.DeclareQueue(topo.EntryQueue, broker.QueueOptions{
+			Durable: true, MaxLen: e.cfg.EntryBound,
+		}); err != nil {
+			return err
+		}
 	}
 	if err := topo.Declare(e.client); err != nil {
 		return err
@@ -281,6 +371,13 @@ func (e *Engine) Start() error {
 			return err
 		}
 	}
+	if e.cfg.MetricsAddr != "" {
+		srv, err := obs.Serve(e.cfg.MetricsAddr, e.reg)
+		if err != nil {
+			return fmt.Errorf("core: metrics server: %w", err)
+		}
+		e.obsSrv = srv
+	}
 	e.started = true
 	return nil
 }
@@ -297,6 +394,8 @@ func (e *Engine) addJoinerLocked(rel tuple.Relation) (*joiner.Service, error) {
 		ArchivePeriod: e.cfg.ArchivePeriod,
 		OrderedIndex:  e.cfg.OrderedIndex,
 		Unordered:     e.cfg.Unordered,
+		Metrics:       e.reg,
+		Trace:         e.tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -320,10 +419,12 @@ func (e *Engine) addRouterLocked() error {
 	id := e.nextRtr
 	e.nextRtr++
 	core, err := router.NewCore(router.Config{
-		ID:     id,
-		Pred:   e.cfg.Predicate,
-		Window: e.win,
-		Hot:    e.hot, // shared across routers so decisions agree
+		ID:      id,
+		Pred:    e.cfg.Predicate,
+		Window:  e.win,
+		Hot:     e.hot, // shared across routers so decisions agree
+		Metrics: e.reg,
+		Trace:   e.tracer,
 	})
 	if err != nil {
 		return err
@@ -464,8 +565,17 @@ func (e *Engine) subgroupsLocked(rel tuple.Relation) int {
 }
 
 // Ingest publishes a raw tuple into the system (the stream-service
-// role). Seq is assigned if zero.
+// role). Seq is assigned if zero. With a bounded entry queue
+// (Config.EntryBound) it blocks while the backlog is full; use
+// IngestContext to bound that wait.
 func (e *Engine) Ingest(t *tuple.Tuple) error {
+	return e.IngestContext(context.Background(), t)
+}
+
+// IngestContext is Ingest honoring cancellation: when ctx is done while
+// backpressure blocks the publish, it returns ctx.Err() without
+// ingesting the tuple.
+func (e *Engine) IngestContext(ctx context.Context, t *tuple.Tuple) error {
 	e.mu.Lock()
 	if !e.started || e.stopped {
 		e.mu.Unlock()
@@ -475,9 +585,23 @@ func (e *Engine) Ingest(t *tuple.Tuple) error {
 		e.seq++
 		t.Seq = e.seq
 	}
-	e.tuplesIn++
 	e.mu.Unlock()
-	return e.client.Publish(topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t))
+	if t.TraceNS == 0 {
+		t.TraceNS = e.tracer.Stamp() // nonzero for one in N tuples
+	}
+	var err error
+	if cp, ok := e.client.(broker.ContextPublisher); ok {
+		err = cp.PublishContext(ctx, topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t))
+	} else if err = ctx.Err(); err == nil {
+		// Client without context support: best-effort pre-publish check.
+		err = e.client.Publish(topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t))
+	}
+	if err == nil {
+		// Counted only on success so Quiesce's routed==ingested
+		// accounting ignores cancelled publishes.
+		e.tuplesIn.Inc()
+	}
+	return err
 }
 
 // Results returns the join result channel (nil when OnResult is set).
@@ -491,9 +615,21 @@ func (e *Engine) sinkLoop(cons broker.Consumer) {
 			continue
 		}
 		jr := tuple.NewJoinResult(l, r)
-		e.mu.Lock()
-		e.resultsN++
-		e.mu.Unlock()
+		e.resultsN.Inc()
+		// e2e latency runs from the later-ingested parent's stamp.
+		// With sampled tracing usually only one parent is stamped;
+		// a stamp on the older parent (event time as the tiebreak)
+		// would measure window dwell, not pipeline latency — skip it.
+		var stamp int64
+		switch {
+		case l.TraceNS != 0 && r.TraceNS != 0:
+			stamp = max(l.TraceNS, r.TraceNS)
+		case l.TraceNS != 0 && l.TS >= r.TS:
+			stamp = l.TraceNS
+		case r.TraceNS != 0 && r.TS >= l.TS:
+			stamp = r.TraceNS
+		}
+		e.tracer.Observe(metrics.StageE2E, stamp)
 		if e.cfg.OnResult != nil {
 			e.cfg.OnResult(jr)
 		} else {
@@ -629,41 +765,44 @@ func (e *Engine) NumRouters() int {
 	return len(e.routers)
 }
 
-// JoinerStats returns per-member stats of one group.
-func (e *Engine) JoinerStats(rel tuple.Relation) []joiner.Stats {
+// MemberIDs returns the active member ids of one joiner group, in
+// layout order. Together with Metrics it lets callers address a
+// member's registry subtree ("joiner.<rel>.<id>.").
+func (e *Engine) MemberIDs(rel tuple.Relation) []int32 {
 	e.mu.Lock()
-	js := append([]*joiner.Service(nil), *e.joinersLocked(rel)...)
-	e.mu.Unlock()
-	out := make([]joiner.Stats, len(js))
-	for i, j := range js {
-		out[i] = j.Stats()
+	defer e.mu.Unlock()
+	return e.memberIDsLocked(rel)
+}
+
+// JoinerStats returns per-member stats of one group. Thin shim over
+// the Snapshot view.
+func (e *Engine) JoinerStats(rel tuple.Relation) []joiner.Stats {
+	members := e.memberSnapshots(rel)
+	out := make([]joiner.Stats, len(members))
+	for i, m := range members {
+		out[i] = m.Stats
 	}
 	return out
 }
 
-// Stats aggregates counters across the engine.
+// Stats aggregates counters across the engine. Thin shim over
+// Snapshot, kept for callers of the original flat API.
 func (e *Engine) Stats() Stats {
-	e.Reap()
-	e.mu.Lock()
-	routers := append([]*router.Service(nil), e.routers...)
-	rjs := append([]*joiner.Service(nil), e.rJoiners...)
-	sjs := append([]*joiner.Service(nil), e.sJoiners...)
-	st := Stats{Results: e.resultsN, TuplesIn: e.tuplesIn}
-	e.mu.Unlock()
-	for _, r := range routers {
-		st.Routers = append(st.Routers, r.Stats())
+	snap := e.Snapshot()
+	st := Stats{
+		Results:      snap.Results,
+		TuplesIn:     snap.TuplesIn,
+		WindowBytes:  snap.WindowBytes,
+		WindowTuples: snap.WindowTuples,
 	}
-	for _, j := range rjs {
-		js := j.Stats()
-		st.RJoiners = append(st.RJoiners, js)
-		st.WindowBytes += js.MemBytes
-		st.WindowTuples += js.WindowLen
+	for _, r := range snap.Routers {
+		st.Routers = append(st.Routers, r.Stats)
 	}
-	for _, j := range sjs {
-		js := j.Stats()
-		st.SJoiners = append(st.SJoiners, js)
-		st.WindowBytes += js.MemBytes
-		st.WindowTuples += js.WindowLen
+	for _, j := range snap.RJoiners {
+		st.RJoiners = append(st.RJoiners, j.Stats)
+	}
+	for _, j := range snap.SJoiners {
+		st.SJoiners = append(st.SJoiners, j.Stats)
 	}
 	return st
 }
@@ -693,11 +832,11 @@ func (e *Engine) quiet() bool {
 	e.mu.Lock()
 	routers := append([]*router.Service(nil), e.routers...)
 	joiners := e.allJoinersLocked()
-	tuplesIn := e.tuplesIn
-	resultsN := e.resultsN
 	routed, fanout := e.retiredRouted, e.retiredFanout
 	received, emitted := e.retiredReceived, e.retiredResults
 	e.mu.Unlock()
+	tuplesIn := e.tuplesIn.Value()
+	resultsN := e.resultsN.Value()
 	for _, r := range routers {
 		st := r.Stats()
 		routed += st.TuplesRouted
@@ -736,7 +875,12 @@ func (e *Engine) Stop() error {
 	joiners := e.allJoinersLocked()
 	sink := e.sinkCons
 	sinkDone := e.sinkDone
+	obsSrv := e.obsSrv
 	e.mu.Unlock()
+
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 
 	for _, r := range routers {
 		r.Stop() // emits a final punctuation

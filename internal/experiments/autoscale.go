@@ -313,9 +313,15 @@ func RunAutoscale(cfg AutoscaleConfig) (*AutoscaleResult, error) {
 }
 
 // podBinder couples deployment pods to engine joiner members: pod index
-// i of the joiner-r deployment reads the live stats of the i-th R
+// i of the joiner-r deployment reads the live metrics of the i-th R
 // member. Both sides create and remove in LIFO order, so the binding is
 // stable.
+//
+// Usage is read from the engine's metric registry — the same
+// joiner.<rel>.<id>.work_units and .window_bytes series the /metrics
+// endpoint exports — so the simulated kubelet observes exactly what an
+// external scraper would. Pod index maps to member id through
+// MemberIDs: ids are monotonic, not dense, after scale in/out.
 type podBinder struct {
 	eng  *core.Engine
 	sim  *vclock.Sim
@@ -335,24 +341,31 @@ func (b *podBinder) hooks(rel tuple.Relation) cluster.PodHooks {
 		if err != nil {
 			panic(err) // validated in applyDefaults
 		}
+		reg := b.eng.Metrics()
 		var lastWork int64
 		var lastAt time.Time
 		usage := func() cluster.ResourceList {
-			stats := b.eng.JoinerStats(rel)
-			if idx >= len(stats) {
+			ids := b.eng.MemberIDs(rel)
+			if idx >= len(ids) {
 				return cluster.ResourceList{}
 			}
-			st := stats[idx]
+			prefix := fmt.Sprintf("joiner.%s.%d.", rel, ids[idx])
+			workF, ok := reg.Value(prefix + "work_units")
+			if !ok {
+				return cluster.ResourceList{}
+			}
+			memF, _ := reg.Value(prefix + "window_bytes")
+			work := int64(workF)
 			now := b.sim.Now()
 			var milli int64
 			if !lastAt.IsZero() && now.After(lastAt) {
-				rate := float64(st.WorkUnits-lastWork) / now.Sub(lastAt).Seconds()
+				rate := float64(work-lastWork) / now.Sub(lastAt).Seconds()
 				milli = int64(rate * b.cfg.CPUMilliPerWork)
 			}
-			lastWork, lastAt = st.WorkUnits, now
+			lastWork, lastAt = work, now
 			return cluster.ResourceList{
 				MilliCPU: milli,
-				MemBytes: heap.Observe(st.MemBytes),
+				MemBytes: heap.Observe(int64(memF)),
 			}
 		}
 		stop := func() { b.next[rel]-- }

@@ -42,6 +42,12 @@ type Config struct {
 	// arrival. Used by the Figure 8 experiment to demonstrate the
 	// missed/duplicate result anomalies the protocol prevents.
 	Unordered bool
+	// Metrics is the registry the joiner's instruments live in under
+	// "joiner.<rel>.<id>."; nil creates a private registry.
+	Metrics *metrics.Registry
+	// Trace folds sampled per-tuple stage timings into the shared stage
+	// histograms; nil disables tracing at this tier.
+	Trace *metrics.Tracer
 }
 
 // Stats snapshots a joiner's work counters. WorkUnits approximates CPU
@@ -69,18 +75,22 @@ type Stats struct {
 // use; Service serializes access.
 type Core struct {
 	cfg     Config
+	prefix  string // registry name prefix, "joiner.<rel>.<id>."
 	idx     *index.Chained
 	reorder *protocol.Reorderer
 
-	received    metrics.Counter
-	stored      metrics.Counter
-	probed      metrics.Counter
-	comparisons metrics.Counter
-	results     metrics.Counter
-	expired     metrics.Counter
-	work        metrics.Counter
+	received    *metrics.Counter
+	stored      *metrics.Counter
+	probed      *metrics.Counter
+	comparisons *metrics.Counter
+	results     *metrics.Counter
+	expired     *metrics.Counter
+	work        *metrics.Counter
 	latency     *metrics.Histogram
 }
+
+// MetricsPrefix returns the joiner's registry name prefix.
+func (c *Core) MetricsPrefix() string { return c.prefix }
 
 // NewCore builds a joiner core.
 func NewCore(cfg Config) (*Core, error) {
@@ -111,11 +121,23 @@ func NewCore(cfg Config) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	prefix := fmt.Sprintf("joiner.%s.%d.", cfg.Rel, cfg.ID)
 	return &Core{
-		cfg:     cfg,
-		idx:     idx,
-		reorder: protocol.NewReorderer(),
-		latency: metrics.NewHistogram(),
+		cfg:         cfg,
+		prefix:      prefix,
+		idx:         idx,
+		reorder:     protocol.NewReorderer(),
+		received:    cfg.Metrics.Counter(prefix + "received"),
+		stored:      cfg.Metrics.Counter(prefix + "stored"),
+		probed:      cfg.Metrics.Counter(prefix + "probed"),
+		comparisons: cfg.Metrics.Counter(prefix + "comparisons"),
+		results:     cfg.Metrics.Counter(prefix + "results"),
+		expired:     cfg.Metrics.Counter(prefix + "expired"),
+		work:        cfg.Metrics.Counter(prefix + "work_units"),
+		latency:     cfg.Metrics.Histogram(prefix + "order_wait_ns"),
 	}, nil
 }
 
@@ -144,6 +166,9 @@ func (c *Core) RemoveRouter(id int32, emit func(tuple.JoinResult)) {
 func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tuple.JoinResult)) {
 	if env.Kind == protocol.KindTuple {
 		c.received.Inc()
+		if env.Tuple != nil {
+			c.cfg.Trace.Observe(metrics.StageDeliver, env.Tuple.TraceNS)
+		}
 	}
 	if c.cfg.Unordered {
 		if env.Kind == protocol.KindTuple {
@@ -157,6 +182,9 @@ func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tupl
 	for _, e := range c.reorder.Add(env, src) {
 		if e.RecvNanos != 0 {
 			c.latency.Observe(time.Now().UnixNano() - e.RecvNanos)
+		}
+		if e.Tuple != nil {
+			c.cfg.Trace.Observe(metrics.StageOrder, e.Tuple.TraceNS)
 		}
 		c.process(e, emit)
 	}
@@ -180,6 +208,7 @@ func (c *Core) process(env protocol.Envelope, emit func(tuple.JoinResult)) {
 		c.idx.Insert(t)
 		c.stored.Inc()
 		c.work.Inc()
+		c.cfg.Trace.Observe(metrics.StageStore, t.TraceNS)
 	case protocol.StreamJoin:
 		if t.Rel != c.cfg.Rel.Opposite() {
 			return
@@ -210,6 +239,7 @@ func (c *Core) process(env protocol.Envelope, emit func(tuple.JoinResult)) {
 		})
 		c.probed.Inc()
 		c.work.Inc()
+		c.cfg.Trace.Observe(metrics.StageProbe, t.TraceNS)
 	}
 }
 

@@ -26,9 +26,34 @@ type Service struct {
 	started   bool
 }
 
-// NewService wraps a core with a broker-backed service.
+// NewService wraps a core with a broker-backed service. The window
+// gauges it registers read the core under the service mutex, so they
+// are safe to scrape from the exporter's HTTP goroutine while the
+// consume loops run.
 func NewService(core *Core, client broker.Client) *Service {
-	return &Service{core: core, client: client}
+	s := &Service{core: core, client: client}
+	reg, prefix := core.cfg.Metrics, core.prefix
+	reg.GaugeFunc(prefix+"pending", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(core.reorder.Pending())
+	})
+	reg.GaugeFunc(prefix+"window_tuples", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(core.idx.Len())
+	})
+	reg.GaugeFunc(prefix+"window_bytes", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(core.MemBytes())
+	})
+	reg.GaugeFunc(prefix+"sub_indexes", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(core.idx.NumSubIndexes())
+	})
+	return s
 }
 
 // Queues returns the (storeQueue, joinQueue) names of this member.
@@ -110,6 +135,9 @@ func (s *Service) Retire() {
 	storeQ, joinQ := s.Queues()
 	_ = s.client.DeleteQueue(storeQ)
 	_ = s.client.DeleteQueue(joinQ)
+	// Drop the member's registry subtree (including the gauge funcs
+	// registered by NewService) so scrapes stop reporting a dead member.
+	s.core.cfg.Metrics.UnregisterPrefix(s.core.prefix)
 }
 
 // Core exposes the underlying core. Callers must not invoke core

@@ -253,9 +253,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Snapshot summarises the histogram.
 type Snapshot struct {
 	Count                   int64
+	Sum                     int64
 	Mean                    float64
 	Min, P50, P95, P99, Max int64
 }
@@ -264,6 +272,7 @@ type Snapshot struct {
 func (h *Histogram) Snapshot() Snapshot {
 	return Snapshot{
 		Count: h.Count(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
 		Min:   h.Min(),
 		P50:   h.Quantile(0.50),

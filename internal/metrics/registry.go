@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricKind discriminates the instrument types a Registry holds.
+type MetricKind uint8
+
+// The instrument kinds.
+const (
+	KindCounterMetric MetricKind = iota + 1
+	KindGaugeMetric
+	KindGaugeFuncMetric
+	KindMeterMetric
+	KindHistogramMetric
+)
+
+// String names the kind for export and error messages.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounterMetric:
+		return "counter"
+	case KindGaugeMetric:
+		return "gauge"
+	case KindGaugeFuncMetric:
+		return "gaugefunc"
+	case KindMeterMetric:
+		return "meter"
+	case KindHistogramMetric:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Sample is one exported measurement of a named instrument, the unit
+// the HTTP exporter and Engine.Snapshot consume. Counters and gauges
+// carry Value; meters carry Value (the smoothed rate) plus Total;
+// histograms carry Hist.
+type Sample struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	Total int64     // meters only: events observed since creation
+	Hist  *Snapshot // histograms only
+}
+
+// CollectorFunc contributes dynamically named samples to a gather (for
+// sources whose name set changes at runtime, like broker queues). It is
+// called on every Gather; implementations must be safe for concurrent
+// use and should emit gauge or counter samples.
+type CollectorFunc func(emit func(Sample))
+
+type registryEntry struct {
+	kind      MetricKind
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	meter     *Meter
+	histogram *Histogram
+}
+
+// Registry is a concurrency-safe collection of named instruments. Names
+// are hierarchical dot paths ("joiner.R.2.window_bytes"); the exporter
+// sanitizes them for Prometheus. Typed accessors are get-or-create and
+// idempotent for a matching kind; requesting an existing name as a
+// different kind panics, because two subsystems fighting over one name
+// is a programming error that silent sharing would hide.
+type Registry struct {
+	mu         sync.RWMutex
+	entries    map[string]*registryEntry
+	collectors []CollectorFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*registryEntry)}
+}
+
+func (r *Registry) entry(name string, kind MetricKind, create func() *registryEntry) *registryEntry {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if e, ok = r.entries[name]; !ok {
+			e = create()
+			r.entries[name] = e
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q already registered as %v, requested as %v", name, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	return r.entry(name, KindCounterMetric, func() *registryEntry {
+		return &registryEntry{kind: KindCounterMetric, counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the named gauge, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.entry(name, KindGaugeMetric, func() *registryEntry {
+		return &registryEntry{kind: KindGaugeMetric, gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a callback-backed gauge sampled at gather time.
+// Re-registering an existing gaugefunc name replaces the callback (the
+// natural semantics for a restarted service re-claiming its name). fn
+// must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	e := r.entry(name, KindGaugeFuncMetric, func() *registryEntry {
+		return &registryEntry{kind: KindGaugeFuncMetric}
+	})
+	r.mu.Lock()
+	e.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Meter returns the named rate meter, creating it with the given
+// smoothing horizon if absent (the horizon of an existing meter is kept).
+func (r *Registry) Meter(name string, horizon time.Duration) *Meter {
+	return r.entry(name, KindMeterMetric, func() *registryEntry {
+		return &registryEntry{kind: KindMeterMetric, meter: NewMeter(horizon)}
+	}).meter
+}
+
+// Histogram returns the named histogram, creating it if absent.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.entry(name, KindHistogramMetric, func() *registryEntry {
+		return &registryEntry{kind: KindHistogramMetric, histogram: NewHistogram()}
+	}).histogram
+}
+
+// AddCollector attaches a dynamic sample source consulted on every
+// Gather, after the registered instruments.
+func (r *Registry) AddCollector(fn CollectorFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Unregister removes the named instrument; it is a no-op for unknown
+// names. Existing holders of the instrument keep a working (but no
+// longer exported) handle.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, name)
+}
+
+// UnregisterPrefix removes every instrument whose name starts with
+// prefix — the whole subtree of a retired service ("joiner.R.3.").
+func (r *Registry) UnregisterPrefix(prefix string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.entries {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.entries, name)
+		}
+	}
+}
+
+// Names returns the sorted registered instrument names (collectors are
+// not enumerable).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the current scalar value of the named instrument:
+// counter count, gauge value, gaugefunc result, meter rate, or
+// histogram mean. The second result is false for unknown names.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	var fn func() float64
+	if ok {
+		fn = e.gaugeFn
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch e.kind {
+	case KindCounterMetric:
+		return float64(e.counter.Value()), true
+	case KindGaugeMetric:
+		return float64(e.gauge.Value()), true
+	case KindGaugeFuncMetric:
+		if fn == nil {
+			return 0, true
+		}
+		return fn(), true
+	case KindMeterMetric:
+		return e.meter.Rate(), true
+	case KindHistogramMetric:
+		return e.histogram.Mean(), true
+	}
+	return 0, false
+}
+
+// Gather snapshots every instrument and collector into a name-sorted
+// sample list. Gauge funcs and collectors run outside the registry lock,
+// so they may take their own locks freely.
+func (r *Registry) Gather() []Sample {
+	r.mu.RLock()
+	type named struct {
+		name string
+		e    *registryEntry
+		fn   func() float64
+	}
+	entries := make([]named, 0, len(r.entries))
+	for name, e := range r.entries {
+		entries = append(entries, named{name, e, e.gaugeFn})
+	}
+	collectors := append([]CollectorFunc(nil), r.collectors...)
+	r.mu.RUnlock()
+
+	out := make([]Sample, 0, len(entries))
+	for _, ne := range entries {
+		s := Sample{Name: ne.name, Kind: ne.e.kind}
+		switch ne.e.kind {
+		case KindCounterMetric:
+			s.Value = float64(ne.e.counter.Value())
+		case KindGaugeMetric:
+			s.Value = float64(ne.e.gauge.Value())
+		case KindGaugeFuncMetric:
+			if ne.fn != nil {
+				s.Value = ne.fn()
+			}
+		case KindMeterMetric:
+			s.Value = ne.e.meter.Rate()
+			s.Total = ne.e.meter.Total()
+		case KindHistogramMetric:
+			snap := ne.e.histogram.Snapshot()
+			s.Hist = &snap
+			s.Value = snap.Mean
+		}
+		out = append(out, s)
+	}
+	for _, c := range collectors {
+		c(func(s Sample) { out = append(out, s) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

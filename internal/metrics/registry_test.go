@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b")
+	c1.Add(3)
+	c2 := r.Counter("a.b")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	if c2.Value() != 3 {
+		t.Errorf("Value = %d, want 3", c2.Value())
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("requesting a counter name as a gauge did not panic")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, `"x"`) {
+			t.Errorf("panic message %v does not name the colliding instrument", rec)
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistryValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(42)
+	r.GaugeFunc("gf", func() float64 { return 2.5 })
+	if v, ok := r.Value("c"); !ok || v != 7 {
+		t.Errorf("Value(c) = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("g"); !ok || v != 42 {
+		t.Errorf("Value(g) = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("gf"); !ok || v != 2.5 {
+		t.Errorf("Value(gf) = %v,%v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Error("Value(missing) reported ok")
+	}
+}
+
+func TestRegistryUnregisterPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("joiner.R.0.stored")
+	r.Counter("joiner.R.0.probed")
+	r.Counter("joiner.R.1.stored")
+	r.Counter("router.0.routed")
+	r.UnregisterPrefix("joiner.R.0.")
+	names := r.Names()
+	want := []string{"joiner.R.1.stored", "router.0.routed"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryGatherSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.depth").Set(5)
+	r.Histogram("c.lat").Observe(100)
+	r.Meter("d.rate", time.Second).Observe(time.Now(), 1)
+	r.AddCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "e.dyn", Kind: KindGaugeMetric, Value: 9})
+	})
+	samples := r.Gather()
+	if len(samples) != 5 {
+		t.Fatalf("Gather returned %d samples, want 5", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Name > samples[i].Name {
+			t.Fatalf("samples not sorted: %q before %q", samples[i-1].Name, samples[i].Name)
+		}
+	}
+	byName := map[string]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = s
+	}
+	if s := byName["c.lat"]; s.Hist == nil || s.Hist.Count != 1 {
+		t.Errorf("histogram sample missing snapshot: %+v", s)
+	}
+	if s := byName["e.dyn"]; s.Value != 9 {
+		t.Errorf("collector sample = %+v", s)
+	}
+}
+
+// TestRegistryGaugeFuncMayLock proves gauge funcs run outside the
+// registry lock: a func that itself gathers a second registry (or takes
+// another lock) must not deadlock.
+func TestRegistryGaugeFuncMayLock(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	r.GaugeFunc("locked", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return 1
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Gather()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Gather deadlocked on a locking gauge func")
+	}
+}
+
+// TestHistogramQuantilesConcurrent drives a registry histogram from
+// many writers while a reader snapshots it, then checks the quantiles
+// land near the known uniform distribution.
+func TestHistogramQuantilesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	const writers, per = 8, 20_000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot() // must not race or corrupt
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(1 + rng.Int63n(1000)) // uniform [1,1000]
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	snap := h.Snapshot()
+	if snap.Count != writers*per {
+		t.Fatalf("Count = %d, want %d", snap.Count, writers*per)
+	}
+	// The log-bucketed histogram is approximate; uniform [1,1000]
+	// quantiles should land within a bucket's relative error.
+	checks := []struct {
+		name      string
+		got, want int64
+	}{
+		{"P50", snap.P50, 500},
+		{"P95", snap.P95, 950},
+		{"P99", snap.P99, 990},
+	}
+	for _, c := range checks {
+		lo, hi := c.want*7/10, c.want*13/10
+		if c.got < lo || c.got > hi {
+			t.Errorf("%s = %d, want within [%d,%d]", c.name, c.got, lo, hi)
+		}
+	}
+	if snap.Min < 1 || snap.Max > 1000 {
+		t.Errorf("Min/Max = %d/%d outside observed range", snap.Min, snap.Max)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, 4)
+	stamped := 0
+	for i := 0; i < 16; i++ {
+		if tr.Stamp() != 0 {
+			stamped++
+		}
+	}
+	if stamped != 4 {
+		t.Errorf("stamped %d of 16 with every=4, want 4", stamped)
+	}
+	tr.Observe(StageRoute, time.Now().Add(-time.Millisecond).UnixNano())
+	if snap := tr.StageSnapshot(StageRoute); snap.Count != 1 {
+		t.Errorf("StageRoute count = %d, want 1", snap.Count)
+	}
+	tr.Observe(StageProbe, 0) // unsampled tuple: must be a no-op
+	if snap := tr.StageSnapshot(StageProbe); snap.Count != 0 {
+		t.Errorf("StageProbe count = %d, want 0", snap.Count)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Stamp() != 0 {
+		t.Error("nil tracer stamped")
+	}
+	tr.Observe(StageE2E, 123) // must not panic
+}

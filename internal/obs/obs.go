@@ -1,0 +1,165 @@
+// Package obs exposes a metrics.Registry over HTTP: Prometheus text
+// format at /metrics, a JSON snapshot at /debug/vars, and the standard
+// net/http/pprof profiling endpoints. It is mounted by the daemons
+// (brokerd, routerd, joinerd), by the in-process engine when
+// Config.MetricsAddr is set, and by anything else holding a registry.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"bistream/internal/metrics"
+)
+
+// Register mounts the observability endpoints on mux:
+//
+//	GET /metrics        Prometheus text exposition format
+//	GET /debug/vars     JSON snapshot of every instrument
+//	GET /debug/pprof/…  the standard Go profiling handlers
+func Register(mux *http.ServeMux, reg *metrics.Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Vars(reg))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone handler serving the Register endpoints.
+func Handler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, reg)
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for the registry on addr (":0" picks a
+// free port; Addr reports the bound address). It returns immediately;
+// Close shuts the listener down.
+func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address ("127.0.0.1:43641").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// PromName sanitizes a hierarchical instrument name into a valid
+// Prometheus metric name: dots and any other invalid runes become
+// underscores, and a leading digit gains an underscore prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !valid {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// WritePrometheus gathers the registry and writes the text exposition
+// format. Counters export as "<name>_total"; meters as a rate gauge
+// plus an event-count counter; histograms as summaries (quantile
+// series, _sum, _count) with _min/_max gauges.
+func WritePrometheus(w io.Writer, reg *metrics.Registry) {
+	for _, s := range reg.Gather() {
+		name := PromName(s.Name)
+		switch s.Kind {
+		case metrics.KindCounterMetric:
+			fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %s\n", name, name, formatFloat(s.Value))
+		case metrics.KindGaugeMetric, metrics.KindGaugeFuncMetric:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Value))
+		case metrics.KindMeterMetric:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Value))
+			fmt.Fprintf(w, "# TYPE %s_events_total counter\n%s_events_total %d\n", name, name, s.Total)
+		case metrics.KindHistogramMetric:
+			h := s.Hist
+			if h == nil {
+				continue
+			}
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, h.P50)
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %d\n", name, h.P95)
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, h.P99)
+			fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+			fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %d\n", name, name, h.Min)
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", name, name, h.Max)
+		}
+	}
+}
+
+// formatFloat renders integral values without an exponent so counters
+// stay exact, falling back to %g for true floats.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Vars renders the gathered samples as a JSON-marshalable map keyed by
+// the raw (unsanitized) instrument name, the /debug/vars payload.
+func Vars(reg *metrics.Registry) map[string]any {
+	out := make(map[string]any)
+	for _, s := range reg.Gather() {
+		switch s.Kind {
+		case metrics.KindMeterMetric:
+			out[s.Name] = map[string]any{"rate": s.Value, "total": s.Total}
+		case metrics.KindHistogramMetric:
+			if s.Hist != nil {
+				out[s.Name] = *s.Hist
+			}
+		default:
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}
+
+// SortedNames returns the gathered sample names in order (test helper
+// and debug aid).
+func SortedNames(reg *metrics.Registry) []string {
+	samples := reg.Gather()
+	names := make([]string, len(samples))
+	for i, s := range samples {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

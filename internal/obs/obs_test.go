@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bistream/internal/metrics"
+)
+
+func testRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.Counter("router.0.routed").Add(12)
+	r.Gauge("broker.queue.depth").Set(3)
+	r.GaugeFunc("engine.routers", func() float64 { return 2 })
+	r.Meter("router.0.input_rate", time.Second).Observe(time.Now(), 5)
+	h := r.Histogram("stage.e2e")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	return r
+}
+
+// parseProm is a minimal Prometheus text-format parser: it validates
+// every line and returns sample values keyed by "name{labels}".
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	types := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, fields[3])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unbalanced labels in %q", ln+1, key)
+			}
+			name = key[:i]
+		}
+		for i, c := range name {
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+		v, _ := strconv.ParseFloat(valStr, 64)
+		out[key] = v
+	}
+	if len(types) == 0 {
+		t.Fatal("no TYPE comments in exposition")
+	}
+	return out
+}
+
+func TestWritePrometheusParsesBack(t *testing.T) {
+	var sb strings.Builder
+	WritePrometheus(&sb, testRegistry())
+	samples := parseProm(t, sb.String())
+
+	if v := samples["router_0_routed_total"]; v != 12 {
+		t.Errorf("router_0_routed_total = %v, want 12", v)
+	}
+	if v := samples["broker_queue_depth"]; v != 3 {
+		t.Errorf("broker_queue_depth = %v, want 3", v)
+	}
+	if v := samples["engine_routers"]; v != 2 {
+		t.Errorf("engine_routers = %v, want 2", v)
+	}
+	if v := samples["router_0_input_rate_events_total"]; v != 5 {
+		t.Errorf("meter events total = %v, want 5", v)
+	}
+	if v := samples["stage_e2e_count"]; v != 100 {
+		t.Errorf("stage_e2e_count = %v, want 100", v)
+	}
+	if v := samples[`stage_e2e{quantile="0.5"}`]; v <= 0 {
+		t.Errorf("stage_e2e p50 = %v, want > 0", v)
+	}
+	if v := samples["stage_e2e_sum"]; v != 5050*1000 {
+		t.Errorf("stage_e2e_sum = %v, want %d", v, 5050*1000)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if samples := parseProm(t, body); samples["router_0_routed_total"] != 12 {
+		t.Errorf("served /metrics missing counter: %v", samples)
+	}
+
+	body, ct = get("/debug/vars")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/vars content type = %q", ct)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if v, ok := vars["router.0.routed"].(float64); !ok || v != 12 {
+		t.Errorf("vars[router.0.routed] = %v", vars["router.0.routed"])
+	}
+	if _, ok := vars["stage.e2e"].(map[string]any); !ok {
+		t.Errorf("vars[stage.e2e] = %T, want histogram object", vars["stage.e2e"])
+	}
+
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"joiner.R.2.window_bytes": "joiner_R_2_window_bytes",
+		"0weird":                  "_weird",
+		"ok_name:x9":              "ok_name:x9",
+		"spaces and-dashes":       "spaces_and_dashes",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatFloatIntegral(t *testing.T) {
+	if got := formatFloat(1234567); got != "1234567" {
+		t.Errorf("formatFloat(1234567) = %q", got)
+	}
+	if got := formatFloat(2.5); got != "2.5" {
+		t.Errorf("formatFloat(2.5) = %q", got)
+	}
+}

@@ -35,6 +35,19 @@ type Config struct {
 	// keys keep one-copy hash routing. The tracker must be shared by
 	// every router of the engine so decisions agree.
 	Hot *HotTracker
+	// Metrics is the registry the router's instruments live in under
+	// "router.<id>."; nil creates a private registry (counters still
+	// work, nothing is exported).
+	Metrics *metrics.Registry
+	// Trace folds sampled per-tuple stage timings into the shared stage
+	// histograms; nil disables tracing at this tier.
+	Trace *metrics.Tracer
+	// StampIngest makes this router the tracing ingest edge: unstamped
+	// tuples get a sampled trace stamp on arrival. Standalone routerd
+	// sets it (sources publish raw tuples); the in-process engine leaves
+	// it off because Engine.Ingest already stamps ahead of the entry
+	// queue.
+	StampIngest bool
 }
 
 // Stats is a snapshot of a router's counters, the "statistics related
@@ -51,14 +64,18 @@ type Stats struct {
 // serializes access.
 type Core struct {
 	cfg     Config
+	prefix  string // registry name prefix, "router.<id>."
 	stamper *protocol.Stamper
 	groups  [2]*Group // indexed by tuple.Relation
 
-	tuplesRouted metrics.Counter
-	msgsOut      metrics.Counter
-	joinFanout   metrics.Counter
+	tuplesRouted *metrics.Counter
+	msgsOut      *metrics.Counter
+	joinFanout   *metrics.Counter
 	meter        *metrics.Meter
 }
+
+// MetricsPrefix returns the router's registry name prefix.
+func (c *Core) MetricsPrefix() string { return c.prefix }
 
 // NewCore builds a router core. Layouts must be installed with
 // SetLayout before routing.
@@ -66,13 +83,21 @@ func NewCore(cfg Config) (*Core, error) {
 	if cfg.Pred == nil {
 		return nil, fmt.Errorf("router: predicate is required")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	prefix := fmt.Sprintf("router.%d.", cfg.ID)
 	// An unbounded window (full-history join) is allowed: retired
 	// layout generations then simply never drain.
 	return &Core{
-		cfg:     cfg,
-		stamper: protocol.NewStamper(cfg.ID),
-		groups:  [2]*Group{NewGroup(cfg.Window), NewGroup(cfg.Window)},
-		meter:   metrics.NewMeter(5 * time.Second),
+		cfg:          cfg,
+		prefix:       prefix,
+		stamper:      protocol.NewStamper(cfg.ID),
+		groups:       [2]*Group{NewGroup(cfg.Window), NewGroup(cfg.Window)},
+		tuplesRouted: cfg.Metrics.Counter(prefix + "routed"),
+		msgsOut:      cfg.Metrics.Counter(prefix + "msgs_out"),
+		joinFanout:   cfg.Metrics.Counter(prefix + "join_fanout"),
+		meter:        cfg.Metrics.Meter(prefix+"input_rate", 5*time.Second),
 	}, nil
 }
 
@@ -144,6 +169,7 @@ func (c *Core) Route(t *tuple.Tuple, now time.Time) ([]Destination, error) {
 	c.msgsOut.Add(int64(len(dests)))
 	c.joinFanout.Add(int64(len(joinMembers)))
 	c.meter.Observe(now, 1)
+	c.cfg.Trace.Observe(metrics.StageRoute, t.TraceNS)
 	return dests, nil
 }
 

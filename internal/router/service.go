@@ -113,9 +113,12 @@ func (s *Service) stop(retire bool) {
 		s.coreMu.Unlock()
 		for _, dst := range dests {
 			if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
-				return
+				break
 			}
 		}
+		// A retired router's series would otherwise linger frozen in
+		// every future scrape; drop its registry subtree.
+		s.core.cfg.Metrics.UnregisterPrefix(s.core.prefix)
 		return
 	}
 	s.publishPunctuation()
@@ -151,6 +154,9 @@ func (s *Service) routeLoop() {
 		t, err := tuple.Unmarshal(d.Body)
 		if err != nil {
 			continue // poison message; drop
+		}
+		if s.core.cfg.StampIngest && t.TraceNS == 0 {
+			t.TraceNS = s.core.cfg.Trace.Stamp()
 		}
 		s.coreMu.Lock()
 		dests, err := s.core.Route(t, s.clock.Now())

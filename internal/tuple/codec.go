@@ -12,9 +12,10 @@ import (
 //
 // Layout (little endian):
 //
-//	byte    relation (0=R, 1=S)
+//	byte    relation (0=R, 1=S), high bit set when a trace stamp follows
 //	uint64  seq
 //	int64   ts
+//	int64   trace stamp in Unix nanoseconds (only when flagged)
 //	uvarint number of values
 //	per value:
 //	    byte kind
@@ -28,12 +29,22 @@ import (
 // ErrCorrupt is returned when a byte slice cannot be decoded as a tuple.
 var ErrCorrupt = errors.New("tuple: corrupt encoding")
 
+// traceFlag on the relation byte marks a tuple carrying a trace stamp.
+const traceFlag = 0x80
+
 // AppendBinary appends the binary encoding of t to dst and returns the
 // extended slice.
 func AppendBinary(dst []byte, t *Tuple) []byte {
-	dst = append(dst, byte(t.Rel))
+	rel := byte(t.Rel)
+	if t.TraceNS != 0 {
+		rel |= traceFlag
+	}
+	dst = append(dst, rel)
 	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.TS))
+	if t.TraceNS != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.TraceNS))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(t.Values)))
 	for _, v := range t.Values {
 		dst = append(dst, byte(v.kind))
@@ -88,13 +99,27 @@ func consume(data []byte) (*Tuple, []byte, error) {
 	if len(data) < 17 {
 		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
-	rel := Relation(data[0])
+	traced := data[0]&traceFlag != 0
+	rel := Relation(data[0] &^ traceFlag)
 	if rel != R && rel != S {
 		return nil, nil, fmt.Errorf("%w: bad relation byte %d", ErrCorrupt, data[0])
 	}
 	seq := binary.LittleEndian.Uint64(data[1:9])
 	ts := int64(binary.LittleEndian.Uint64(data[9:17]))
 	data = data[17:]
+	var traceNS int64
+	if traced {
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("%w: truncated trace stamp", ErrCorrupt)
+		}
+		traceNS = int64(binary.LittleEndian.Uint64(data[:8]))
+		if traceNS == 0 {
+			// A flagged-but-zero stamp would not round-trip (the encoder
+			// only flags nonzero stamps); reject it as non-canonical.
+			return nil, nil, fmt.Errorf("%w: zero trace stamp", ErrCorrupt)
+		}
+		data = data[8:]
+	}
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
 		return nil, nil, fmt.Errorf("%w: bad value count", ErrCorrupt)
@@ -135,5 +160,5 @@ func consume(data []byte) (*Tuple, []byte, error) {
 			return nil, nil, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
 		}
 	}
-	return &Tuple{Rel: rel, Seq: seq, TS: ts, Values: values}, data, nil
+	return &Tuple{Rel: rel, Seq: seq, TS: ts, Values: values, TraceNS: traceNS}, data, nil
 }

@@ -7,7 +7,7 @@ import (
 
 // sameTuple compares decoded tuples semantically (NaN-aware).
 func sameTuple(a, b *Tuple) bool {
-	if a.Rel != b.Rel || a.Seq != b.Seq || a.TS != b.TS || len(a.Values) != len(b.Values) {
+	if a.Rel != b.Rel || a.Seq != b.Seq || a.TS != b.TS || a.TraceNS != b.TraceNS || len(a.Values) != len(b.Values) {
 		return false
 	}
 	for i := range a.Values {
@@ -32,6 +32,9 @@ func sameTuple(a, b *Tuple) bool {
 func FuzzUnmarshal(f *testing.F) {
 	f.Add(Marshal(New(R, 1, 2, Int(3))))
 	f.Add(Marshal(New(S, 1<<60, -9, Float(3.25), String("héllo"), Int(-1))))
+	traced := New(R, 7, 8, Int(9))
+	traced.TraceNS = 1_700_000_000_000_000_001
+	f.Add(Marshal(traced))
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -120,6 +120,13 @@ type Tuple struct {
 	Seq    uint64
 	TS     int64 // event time, Unix milliseconds in the virtual domain
 	Values []Value
+
+	// TraceNS is the ingest wall clock in Unix nanoseconds when this
+	// tuple was selected for stage tracing, or 0 for the (vast)
+	// unsampled majority. It rides the wire encoding behind a flag bit
+	// so per-stage latency histograms work across process boundaries
+	// (subject to clock synchronization between hosts).
+	TraceNS int64
 }
 
 // New allocates a tuple for the given relation.

@@ -1,0 +1,118 @@
+package bistream_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bistream"
+)
+
+// TestNewFunctionalOptions drives a tiny join through the options form
+// of New and checks both API forms configure the same engine.
+func TestNewFunctionalOptions(t *testing.T) {
+	results := make(chan bistream.JoinResult, 16)
+	eng, err := bistream.New(bistream.Equi(0, 0),
+		bistream.WithWindow(time.Minute),
+		bistream.WithJoiners(2, 2),
+		bistream.WithRouters(1),
+		bistream.WithPunctuationInterval(time.Millisecond),
+		bistream.WithOnResult(func(jr bistream.JoinResult) { results <- jr }),
+		bistream.WithTraceSample(1),
+		bistream.WithMetricsAddr("127.0.0.1:0"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if eng.MetricsAddr() == "" {
+		t.Error("WithMetricsAddr did not start the exporter")
+	}
+	if err := eng.Ingest(bistream.NewTuple(bistream.R, 0, 1000, bistream.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Ingest(bistream.NewTuple(bistream.S, 0, 1001, bistream.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-results:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no join result")
+	}
+	snap := eng.Snapshot()
+	if snap.TuplesIn != 2 {
+		t.Errorf("Snapshot.TuplesIn = %d, want 2", snap.TuplesIn)
+	}
+	if len(snap.RJoiners) != 2 || len(snap.SJoiners) != 2 {
+		t.Errorf("snapshot members %d+%d, want 2+2", len(snap.RJoiners), len(snap.SJoiners))
+	}
+}
+
+func TestNewConfigStructStillWorks(t *testing.T) {
+	eng, err := bistream.New(bistream.Config{
+		Predicate: bistream.Equi(0, 0),
+		Window:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+}
+
+func TestNewOptionsOverrideConfigBase(t *testing.T) {
+	eng, err := bistream.New(
+		bistream.Config{Predicate: bistream.Equi(0, 0), Window: time.Second},
+		bistream.WithWindow(time.Minute),
+		bistream.WithJoiners(3, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if n := eng.NumJoiners(bistream.R); n != 3 {
+		t.Errorf("NumJoiners(R) = %d, want 3 (option should win)", n)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := bistream.New(nil); err == nil {
+		t.Error("New(nil) succeeded")
+	}
+	if _, err := bistream.New(42); err == nil || !strings.Contains(err.Error(), "int") {
+		t.Errorf("New(42) err = %v, want type complaint", err)
+	}
+}
+
+// TestSharedRegistryAcrossEngines checks WithMetrics aggregates two
+// engines into one registry without name collisions (each engine's
+// routers/joiners collide by id, so isolation must come from distinct
+// registries — this documents that sharing requires care).
+func TestSharedRegistryAcrossEngines(t *testing.T) {
+	reg := bistream.NewRegistry()
+	eng, err := bistream.New(bistream.Equi(0, 0),
+		bistream.WithWindow(time.Minute),
+		bistream.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	if _, ok := reg.Value("engine.tuples_in"); !ok {
+		t.Error("engine instruments missing from supplied registry")
+	}
+	if _, ok := reg.Value("router.0.routed"); !ok {
+		t.Error("router instruments missing from supplied registry")
+	}
+}
