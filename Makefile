@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet check bench clean
+.PHONY: build test race vet fuzz-smoke check bench clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Short fuzz passes over the parsers that face untrusted bytes: broker
+# topic patterns, tuple codecs, protocol envelopes. Ten seconds each is
+# enough to catch decoder regressions without stalling the gate; run
+# `go test -fuzz <target> -fuzztime 10m <pkg>` for a real campaign.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTopicMatch$$' -fuzztime $(FUZZTIME) ./internal/broker
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/tuple
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalPair$$' -fuzztime $(FUZZTIME) ./internal/tuple
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/protocol
+
 # The gate new changes must pass before merging.
-check: vet build race
+check: vet build race fuzz-smoke
 
 # Quick throughput benches (the full experiment suite takes minutes;
 # see EXPERIMENTS.md for `bistream exp all`).

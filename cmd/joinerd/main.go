@@ -56,13 +56,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client, err := wire.Dial(*brokerAddr)
+	reg := metrics.NewRegistry()
+	// Supervised connection: wait for brokerd to come up, reconnect with
+	// backoff when it restarts, and detect half-open TCP via heartbeat,
+	// instead of exiting on the first dial failure.
+	client, err := wire.Connect(wire.Config{
+		Addr:      *brokerAddr,
+		Reconnect: true,
+		Heartbeat: time.Second,
+		Metrics:   reg,
+		Logf:      log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
-	reg := metrics.NewRegistry()
 	var tracer *metrics.Tracer
 	if *traceSample >= 0 {
 		every := *traceSample

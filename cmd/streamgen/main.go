@@ -51,7 +51,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client, err := wire.Dial(*brokerAddr)
+	// Supervised connection: wait for brokerd, reconnect on restarts.
+	client, err := wire.Connect(wire.Config{
+		Addr:      *brokerAddr,
+		Reconnect: true,
+		Heartbeat: time.Second,
+		Logf:      log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,12 +72,25 @@ func main() {
 	start := time.Now()
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
-	var sent uint64
+	var sent, retries uint64
 	gen.Tick(start)
 	for now := range ticker.C {
 		for _, t := range gen.Tick(now) {
-			if err := client.Publish(topo.EntryExchange, topo.EntryKey, nil, tuple.Marshal(t)); err != nil {
-				log.Fatal(err)
+			// A failed publish (broker restarting, connection lost) is
+			// retried, not fatal: the source's contract is at-least-once,
+			// and the pipeline's dedup absorbs any duplicate a retry of
+			// an actually-delivered publish creates.
+			body := tuple.Marshal(t)
+			for {
+				err := client.Publish(topo.EntryExchange, topo.EntryKey, nil, body)
+				if err == nil {
+					break
+				}
+				retries++
+				if retries%100 == 1 {
+					log.Printf("publish failed (%d retries so far): %v", retries, err)
+				}
+				time.Sleep(10 * time.Millisecond)
 			}
 			sent++
 		}
@@ -79,5 +98,5 @@ func main() {
 			break
 		}
 	}
-	log.Printf("done: %d tuples in %v", sent, time.Since(start).Round(time.Millisecond))
+	log.Printf("done: %d tuples in %v (%d publish retries)", sent, time.Since(start).Round(time.Millisecond), retries)
 }

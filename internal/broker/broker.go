@@ -78,6 +78,11 @@ type Message struct {
 	// journalID identifies the message in a durable queue's journal;
 	// zero outside durable queues.
 	journalID uint64
+	// redeliveries counts how many times the message returned to the
+	// ready list after being handed to a consumer (nack-requeue or
+	// consumer cancellation). Drives the Redelivered flag and the
+	// MaxRedeliver dead-letter bound.
+	redeliveries int
 }
 
 // Delivery is a message handed to a consumer, carrying the delivery tag
@@ -103,7 +108,26 @@ type QueueOptions struct {
 	// messages survive a broker restart (at-least-once; see journal.go).
 	// Incompatible with AutoDelete. Ignored on a non-durable broker.
 	Durable bool
+	// MaxRedeliver bounds how many times a message may return to the
+	// ready list before it is moved to the dead-letter queue instead of
+	// hot-looping at the queue head. Zero selects DefaultMaxRedeliver;
+	// negative means unlimited.
+	MaxRedeliver int
 }
+
+// DeadQueue is the dead-letter queue: messages nacked without requeue,
+// or requeued past a queue's MaxRedeliver bound, land here for offline
+// inspection instead of being dropped or looping forever. It is
+// declared lazily on first use (durable when the broker is) and
+// annotated with an "x-dead-from" header naming the source queue.
+const DeadQueue = "dead"
+
+// DefaultMaxRedeliver is the redelivery bound applied when
+// QueueOptions.MaxRedeliver is zero. Generous enough that transient
+// publish failures (a broker restart, an injected connection cut) never
+// dead-letter a healthy tuple, small enough that a genuinely poisonous
+// message stops churning the queue head.
+const DefaultMaxRedeliver = 256
 
 // Client is the operation surface shared by the in-process broker and
 // the TCP client, so services are transport-agnostic.
@@ -135,15 +159,17 @@ type Consumer interface {
 // QueueStats is a point-in-time snapshot of one queue, the data shown in
 // the RabbitMQ management UI's queue table (Figure 18 of the text).
 type QueueStats struct {
-	Name      string
-	Ready     int     // messages waiting for a consumer
-	Unacked   int     // delivered but not yet acknowledged
-	Consumers int     // attached consumers
-	Published int64   // total messages routed into the queue
-	Delivered int64   // total messages handed to consumers
-	Acked     int64   // total acknowledgements
-	InRate    float64 // smoothed publish rate, messages/s
-	OutRate   float64 // smoothed ack rate, messages/s
+	Name         string
+	Ready        int     // messages waiting for a consumer
+	Unacked      int     // delivered but not yet acknowledged
+	Consumers    int     // attached consumers
+	Published    int64   // total messages routed into the queue
+	Delivered    int64   // total messages handed to consumers
+	Acked        int64   // total acknowledgements
+	Redelivered  int64   // messages returned to the ready list after delivery
+	DeadLettered int64   // messages moved to the dead-letter queue
+	InRate       float64 // smoothed publish rate, messages/s
+	OutRate      float64 // smoothed ack rate, messages/s
 }
 
 // State summarises Ready+Unacked as the management UI does.
@@ -279,24 +305,64 @@ func (b *Broker) DeclareQueue(name string, opts QueueOptions) error {
 		return fmt.Errorf("broker: queue %q cannot be both durable and auto-delete", name)
 	}
 	if q, ok := b.queues[name]; ok {
-		// A declare without a MaxLen bound is passive with respect to an
-		// existing bound: services declaring the shared topology must not
-		// conflict with an owner that installed backpressure on the same
-		// queue (e.g. the engine bounding the entry queue).
+		// A declare without a MaxLen or MaxRedeliver bound is passive
+		// with respect to an existing bound: services declaring the
+		// shared topology must not conflict with an owner that installed
+		// backpressure or a redelivery policy on the same queue (e.g. the
+		// engine bounding the entry queue).
 		passive := opts
-		passive.MaxLen = q.opts.MaxLen
-		if q.opts != opts && !(opts.MaxLen == 0 && q.opts == passive) {
+		if opts.MaxLen == 0 {
+			passive.MaxLen = q.opts.MaxLen
+		}
+		if opts.MaxRedeliver == 0 {
+			passive.MaxRedeliver = q.opts.MaxRedeliver
+		}
+		if q.opts != passive {
 			return fmt.Errorf("%w: %q", ErrQueueExists, name)
 		}
 		return nil
 	}
 	q := newQueue(name, opts, b.clock, b.removeQueue)
+	if name != DeadQueue {
+		q.deadLetter = b.deadLetter
+	}
 	if b.log != nil && opts.Durable {
 		q.log = b.log
 		b.log.logDeclareQueue(name, opts)
 	}
 	b.queues[name] = q
 	return nil
+}
+
+// deadLetter moves a rejected message to the dead-letter queue,
+// declaring it on first use. Called by queues after releasing their own
+// lock, so the enqueue below cannot deadlock against the source queue.
+func (b *Broker) deadLetter(from string, msg Message) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	q, ok := b.queues[DeadQueue]
+	if !ok {
+		opts := QueueOptions{MaxRedeliver: -1, Durable: b.log != nil}
+		q = newQueue(DeadQueue, opts, b.clock, b.removeQueue)
+		if b.log != nil {
+			q.log = b.log
+			b.log.logDeclareQueue(DeadQueue, opts)
+		}
+		b.queues[DeadQueue] = q
+	}
+	b.mu.Unlock()
+	hdrs := make(map[string]string, len(msg.Headers)+1)
+	for k, v := range msg.Headers {
+		hdrs[k] = v
+	}
+	hdrs["x-dead-from"] = from
+	msg.Headers = hdrs
+	msg.journalID = 0 // reassigned by the dead queue's journaled enqueue
+	msg.redeliveries = 0
+	_ = q.enqueue(msg)
 }
 
 // AnonymousQueueName generates a unique auto-delete queue name with the

@@ -1,0 +1,181 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+func declareBound(t *testing.T, b *Broker, ex, q string, opts QueueOptions) {
+	t.Helper()
+	if err := b.DeclareExchange(ex, Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(q, ex, "#"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNackNoRequeueDeadLetters: an explicitly rejected message (poison)
+// is moved to the shared dead queue, annotated with its origin, instead
+// of being silently dropped.
+func TestNackNoRequeueDeadLetters(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	declareBound(t, b, "ex", "q", QueueOptions{})
+	if err := b.Publish("ex", "k", map[string]string{"h": "v"}, []byte("poison")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Consume("q", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := drain(t, c, 1, 2*time.Second)[0]
+	if err := c.Nack(d.Tag, false); err != nil {
+		t.Fatal(err)
+	}
+
+	dc, err := b.Consume(DeadQueue, 1, false)
+	if err != nil {
+		t.Fatalf("dead queue not declared: %v", err)
+	}
+	dd := drain(t, dc, 1, 2*time.Second)[0]
+	if string(dd.Body) != "poison" {
+		t.Errorf("dead-lettered body = %q", dd.Body)
+	}
+	if dd.Headers["x-dead-from"] != "q" {
+		t.Errorf("x-dead-from = %q, want %q", dd.Headers["x-dead-from"], "q")
+	}
+	if dd.Headers["h"] != "v" {
+		t.Errorf("original headers lost: %v", dd.Headers)
+	}
+	if err := dc.Ack(dd.Tag); err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadLettered != 1 {
+		t.Errorf("DeadLettered = %d, want 1", st.DeadLettered)
+	}
+}
+
+// TestMaxRedeliverBoundsRequeueLoop: a message nack-requeued more than
+// MaxRedeliver times is dead-lettered, so a permanently failing handler
+// cannot spin a redelivery loop forever.
+func TestMaxRedeliverBoundsRequeueLoop(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	declareBound(t, b, "ex", "q", QueueOptions{MaxRedeliver: 2})
+	if err := b.Publish("ex", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Consume("q", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivery 1 is fresh; 2 and 3 are redeliveries; the third nack
+	// pushes the count past the bound.
+	for i := 0; i < 3; i++ {
+		d := drain(t, c, 1, 2*time.Second)[0]
+		if want := i > 0; d.Redelivered != want {
+			t.Errorf("delivery %d Redelivered = %v, want %v", i+1, d.Redelivered, want)
+		}
+		if err := c.Nack(d.Tag, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case d, ok := <-c.Deliveries():
+		if ok {
+			t.Fatalf("message redelivered past the bound: %+v", d)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+	st, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Redelivered != 2 {
+		t.Errorf("Redelivered = %d, want 2", st.Redelivered)
+	}
+	if st.DeadLettered != 1 {
+		t.Errorf("DeadLettered = %d, want 1", st.DeadLettered)
+	}
+	dst, err := b.QueueStats(DeadQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Ready != 1 {
+		t.Errorf("dead queue ready = %d, want 1", dst.Ready)
+	}
+}
+
+// TestDeadQueueDoesNotDeadLetterItself: rejecting a message on the dead
+// queue drops it for good instead of cycling it back.
+func TestDeadQueueDoesNotDeadLetterItself(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	declareBound(t, b, "ex", "q", QueueOptions{})
+	if err := b.Publish("ex", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Consume("q", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := drain(t, c, 1, 2*time.Second)[0]
+	if err := c.Nack(d.Tag, false); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := b.Consume(DeadQueue, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := drain(t, dc, 1, 2*time.Second)[0]
+	if err := dc.Nack(dd.Tag, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	st, err := b.QueueStats(DeadQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != 0 || st.Unacked != 0 {
+		t.Errorf("dead queue after self-nack: %+v", st)
+	}
+}
+
+// TestUnlimitedRedeliverNeverDeadLetters: MaxRedeliver < 0 opts out of
+// the bound (the dead queue itself relies on this).
+func TestUnlimitedRedeliverNeverDeadLetters(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	declareBound(t, b, "ex", "q", QueueOptions{MaxRedeliver: -1})
+	if err := b.Publish("ex", "k", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Consume("q", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d := drain(t, c, 1, 2*time.Second)[0]
+		if err := c.Nack(d.Tag, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadLettered != 0 {
+		t.Errorf("DeadLettered = %d, want 0", st.DeadLettered)
+	}
+	if st.Ready+st.Unacked != 1 {
+		t.Errorf("message lost: %+v", st)
+	}
+}

@@ -188,6 +188,14 @@ func replayJournal(path string) (*journalState, error) {
 				Durable:    true,
 			}
 			if rd.err == nil {
+				// MaxRedeliver is stored shifted by one so that the
+				// unlimited sentinel (-1) journals as zero; journals from
+				// before the field default it (absent → 0 → default).
+				if len(rd.buf) > 0 {
+					opts.MaxRedeliver = int(rd.uvarint()) - 1
+				}
+			}
+			if rd.err == nil {
 				state.queues = append(state.queues, recQueue{name, opts})
 			}
 		case recBind:
@@ -291,6 +299,7 @@ func (j *journal) logDeclareQueue(name string, opts QueueOptions) {
 	rec = appendString(rec, name)
 	rec = append(rec, boolByte(opts.AutoDelete))
 	rec = binary.AppendUvarint(rec, uint64(opts.MaxLen))
+	rec = binary.AppendUvarint(rec, uint64(opts.MaxRedeliver+1))
 	j.append(rec)
 }
 

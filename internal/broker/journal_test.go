@@ -264,3 +264,111 @@ func TestDurableBrokerStillWorksAsNormalBroker(t *testing.T) {
 		}
 	}
 }
+
+// TestDurableRedeliveryAfterCrash is the crash-consumer story: a
+// consumer takes deliveries but dies before acking some of them. After
+// a broker restart every unacked message must come back (at-least-once)
+// exactly once, alongside the never-delivered tail, while the acked
+// prefix stays settled.
+func TestDurableRedeliveryAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	b := durableBroker(t, dir)
+	declareDurable(t, b, "ex", "q")
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := b.Publish("ex", "", nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Consume("q", n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := drain(t, c, 8, 2*time.Second)
+	// Ack the first four; the next four were delivered but the consumer
+	// "crashes" (broker closes) holding them unacked.
+	for i := 0; i < 4; i++ {
+		if err := c.Ack(ds[i].Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := durableBroker(t, dir)
+	defer b2.Close()
+	st, err := b2.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != n-4 {
+		t.Fatalf("recovered ready = %d, want %d", st.Ready, n-4)
+	}
+	c2, err := b2.Consume("q", n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]int{}
+	for _, d := range drain(t, c2, n-4, 2*time.Second) {
+		seen[d.Body[0]]++
+		if err := c2.Ack(d.Tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < n; i++ {
+		want := 1
+		if i < 4 {
+			want = 0 // acked before the crash; must not reappear
+		}
+		if seen[i] != want {
+			t.Errorf("message %d recovered %d times, want %d", i, seen[i], want)
+		}
+	}
+}
+
+// TestDurableMaxRedeliverSurvivesRestart: the redelivery bound is part
+// of the queue's durable declaration, so the dead-letter protection
+// still holds on the recovered queue.
+func TestDurableMaxRedeliverSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	b := durableBroker(t, dir)
+	if err := b.DeclareExchange("ex", Topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareQueue("q", QueueOptions{Durable: true, MaxRedeliver: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("q", "ex", "#"); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	b2 := durableBroker(t, dir)
+	defer b2.Close()
+	// A passive redeclare with the same options must match the
+	// recovered queue exactly.
+	if err := b2.DeclareQueue("q", QueueOptions{Durable: true, MaxRedeliver: 1}); err != nil {
+		t.Fatalf("recovered queue lost its MaxRedeliver: %v", err)
+	}
+	if err := b2.Publish("ex", "", nil, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b2.Consume("q", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		d := drain(t, c, 1, 2*time.Second)[0]
+		if err := c.Nack(d.Tag, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := b2.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadLettered != 1 {
+		t.Errorf("DeadLettered = %d, want 1 (bound not recovered)", st.DeadLettered)
+	}
+}

@@ -21,11 +21,13 @@ import (
 //	broker.published              counter total messages routed in
 //	broker.delivered              counter total messages handed out
 //	broker.acked                  counter total settlements
+//	broker.redelivered            counter messages requeued after delivery
+//	broker.dead_lettered          counter messages moved to the dead queue
 //	broker.queues                 gauge   declared queue count
 func RegisterMetrics(b *Broker, reg *metrics.Registry) {
 	reg.AddCollector(func(emit func(metrics.Sample)) {
 		var depth, unacked int64
-		var published, delivered, acked int64
+		var published, delivered, acked, redelivered, deadLettered int64
 		names := b.Queues()
 		for _, name := range names {
 			st, err := b.QueueStats(name)
@@ -41,12 +43,16 @@ func RegisterMetrics(b *Broker, reg *metrics.Registry) {
 			published += st.Published
 			delivered += st.Delivered
 			acked += st.Acked
+			redelivered += st.Redelivered
+			deadLettered += st.DeadLettered
 		}
 		emit(metrics.Sample{Name: "broker.queue.depth", Kind: metrics.KindGaugeMetric, Value: float64(depth)})
 		emit(metrics.Sample{Name: "broker.queue.unacked", Kind: metrics.KindGaugeMetric, Value: float64(unacked)})
 		emit(metrics.Sample{Name: "broker.published", Kind: metrics.KindCounterMetric, Value: float64(published)})
 		emit(metrics.Sample{Name: "broker.delivered", Kind: metrics.KindCounterMetric, Value: float64(delivered)})
 		emit(metrics.Sample{Name: "broker.acked", Kind: metrics.KindCounterMetric, Value: float64(acked)})
+		emit(metrics.Sample{Name: "broker.redelivered", Kind: metrics.KindCounterMetric, Value: float64(redelivered)})
+		emit(metrics.Sample{Name: "broker.dead_lettered", Kind: metrics.KindCounterMetric, Value: float64(deadLettered)})
 		emit(metrics.Sample{Name: "broker.queues", Kind: metrics.KindGaugeMetric, Value: float64(len(names))})
 	})
 }

@@ -27,14 +27,17 @@ type queue struct {
 	closed    bool
 	everHad   bool // a consumer has attached at least once (for AutoDelete)
 
-	published metrics.Counter
-	delivered metrics.Counter
-	acked     metrics.Counter
-	inMeter   *metrics.Meter
-	outMeter  *metrics.Meter
-	clock     vclock.Clock
-	onEmpty   func(*queue) // auto-delete callback
-	log       *journal     // non-nil for durable queues on a durable broker
+	published    metrics.Counter
+	delivered    metrics.Counter
+	acked        metrics.Counter
+	redelivered  metrics.Counter
+	deadLettered metrics.Counter
+	inMeter      *metrics.Meter
+	outMeter     *metrics.Meter
+	clock        vclock.Clock
+	onEmpty      func(*queue)                   // auto-delete callback
+	deadLetter   func(from string, msg Message) // nil on the dead queue itself
+	log          *journal                       // non-nil for durable queues on a durable broker
 
 	nextTag uint64
 	logSeq  uint64 // journal message ids
@@ -194,15 +197,17 @@ func (q *queue) stats() QueueStats {
 		unacked += len(c.unacked)
 	}
 	return QueueStats{
-		Name:      q.name,
-		Ready:     q.ready.Len(),
-		Unacked:   unacked,
-		Consumers: len(q.consumers),
-		Published: q.published.Value(),
-		Delivered: q.delivered.Value(),
-		Acked:     q.acked.Value(),
-		InRate:    q.inMeter.Rate(),
-		OutRate:   q.outMeter.Rate(),
+		Name:         q.name,
+		Ready:        q.ready.Len(),
+		Unacked:      unacked,
+		Consumers:    len(q.consumers),
+		Published:    q.published.Value(),
+		Delivered:    q.delivered.Value(),
+		Acked:        q.acked.Value(),
+		Redelivered:  q.redelivered.Value(),
+		DeadLettered: q.deadLettered.Value(),
+		InRate:       q.inMeter.Rate(),
+		OutRate:      q.outMeter.Rate(),
 	}
 }
 
@@ -248,7 +253,8 @@ func (c *consumer) dispatch() {
 		msg := front.Value.(Message)
 		q.ready.Remove(front)
 		q.nextTag++
-		d := Delivery{Message: msg, Queue: q.name, Tag: q.nextTag}
+		d := Delivery{Message: msg, Queue: q.name, Tag: q.nextTag,
+			Redelivered: msg.redeliveries > 0}
 		if c.autoAck {
 			q.acked.Inc()
 			q.logSettle(msg)
@@ -311,7 +317,25 @@ func (c *consumer) Ack(tag uint64) error {
 	return nil
 }
 
-// Nack rejects the delivery, optionally requeueing it at the head.
+// maxRedeliver resolves the queue's redelivery bound: negative options
+// mean unlimited (-1), zero selects the default.
+func (q *queue) maxRedeliver() int {
+	switch {
+	case q.opts.MaxRedeliver < 0:
+		return -1
+	case q.opts.MaxRedeliver == 0:
+		return DefaultMaxRedeliver
+	default:
+		return q.opts.MaxRedeliver
+	}
+}
+
+// Nack rejects the delivery. With requeue it returns to the queue head
+// — unless the message has exhausted the queue's MaxRedeliver bound, in
+// which case it is dead-lettered instead of hot-looping. Without
+// requeue it is dead-lettered immediately (never silently dropped,
+// unless the broker has no dead-letter sink, i.e. on the dead queue
+// itself).
 func (c *consumer) Nack(tag uint64, requeue bool) error {
 	q := c.q
 	q.mu.Lock()
@@ -325,15 +349,35 @@ func (c *consumer) Nack(tag uint64, requeue bool) error {
 		return ErrUnknownDelivery
 	}
 	delete(c.unacked, tag)
+	dead := false
 	if requeue {
-		q.ready.PushFront(msg) // journal untouched: still unsettled
+		msg.redeliveries++
+		if limit := q.maxRedeliver(); q.deadLetter != nil && limit >= 0 && msg.redeliveries > limit {
+			dead = true
+		} else {
+			q.redelivered.Inc()
+			q.ready.PushFront(msg) // journal untouched: still unsettled
+		}
 	} else {
-		q.acked.Inc() // dropped counts as settled
+		dead = q.deadLetter != nil
+	}
+	if dead || !requeue {
+		// Settled from this queue's perspective, whether dead-lettered
+		// or (no sink) dropped.
+		q.acked.Inc()
 		q.logSettle(msg)
 		q.notFull.Signal()
 	}
+	if dead {
+		q.deadLettered.Inc()
+	}
 	q.notEmpty.Broadcast()
 	q.mu.Unlock()
+	if dead {
+		// Outside q.mu: the dead queue takes its own lock, and may be
+		// this queue's sibling under the same broker.
+		q.deadLetter(q.name, msg)
+	}
 	return nil
 }
 
@@ -377,16 +421,24 @@ drainLoop:
 	sortUint64(tags)
 	for i := len(buffered) - 1; i >= 0; i-- {
 		d := buffered[i]
+		msg := d.Message
 		if c.autoAck {
 			q.acked.Add(-1)
 		} else {
 			delete(c.unacked, d.Tag)
+			msg.redeliveries++
+			q.redelivered.Inc()
 		}
 		q.delivered.Add(-1)
-		q.ready.PushFront(d.Message)
+		q.ready.PushFront(msg)
 	}
 	for i := len(tags) - 1; i >= 0; i-- {
 		if msg, ok := c.unacked[tags[i]]; ok {
+			// The consumer saw this message and may have partially
+			// processed it: the next delivery is a redelivery, and
+			// downstream idempotency (dedup) must treat it as such.
+			msg.redeliveries++
+			q.redelivered.Inc()
 			q.ready.PushFront(msg)
 			q.delivered.Add(-1)
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/dedup"
 	"bistream/internal/index"
 	"bistream/internal/joiner"
 	"bistream/internal/metrics"
@@ -193,6 +194,15 @@ type Engine struct {
 	tuplesIn *metrics.Counter // engine.tuples_in
 	resultsN *metrics.Counter // engine.results
 
+	// resultSeen dedups result pairs at the sink: the joiners' retry
+	// buffer and the broker's at-least-once redelivery can both deliver
+	// a result body twice, and the (left seq, right seq) pair identifies
+	// it exactly. Touched only by the sink goroutine (dedup.Set is not
+	// concurrency-safe). Nil in Unordered mode, where the Figure 8
+	// experiment measures duplicate anomalies on purpose.
+	resultSeen  *dedup.Set
+	resultDedup *metrics.Counter // engine.result_dedup
+
 	mu       sync.Mutex
 	routers  []*router.Service
 	rJoiners []*joiner.Service
@@ -275,6 +285,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.tuplesIn = e.reg.Counter("engine.tuples_in")
 	e.resultsN = e.reg.Counter("engine.results")
+	e.resultDedup = e.reg.Counter("engine.result_dedup")
+	if !cfg.Unordered {
+		e.resultSeen = dedup.New(0)
+	}
 	e.reg.GaugeFunc("engine.routers", func() float64 {
 		e.mu.Lock()
 		defer e.mu.Unlock()
@@ -338,15 +352,18 @@ func (e *Engine) Start() error {
 	if err := topo.Declare(e.client); err != nil {
 		return err
 	}
-	// Result sink first so no result is dropped.
+	// Result sink first so no result is dropped. The queue is durable
+	// and consumption manual-ack so results survive a broker restart and
+	// a sink crash between delivery and handoff redelivers instead of
+	// losing the pair.
 	const sinkQ = topo.ResultExchange + ".sink"
-	if err := e.client.DeclareQueue(sinkQ, broker.QueueOptions{}); err != nil {
+	if err := e.client.DeclareQueue(sinkQ, broker.QueueOptions{Durable: true}); err != nil {
 		return err
 	}
 	if err := e.client.Bind(sinkQ, topo.ResultExchange, topo.ResultKey); err != nil {
 		return err
 	}
-	cons, err := e.client.Consume(sinkQ, 512, true)
+	cons, err := e.client.Consume(sinkQ, 512, false)
 	if err != nil {
 		return err
 	}
@@ -612,6 +629,15 @@ func (e *Engine) sinkLoop(cons broker.Consumer) {
 	for d := range cons.Deliveries() {
 		l, r, err := tuple.UnmarshalPair(d.Body)
 		if err != nil {
+			_ = cons.Nack(d.Tag, false) // poison: dead-letter for inspection
+			continue
+		}
+		if e.resultSeen != nil && e.resultSeen.SeenOrAdd(dedup.Key{l.Seq, r.Seq}) {
+			// The pair already reached the application: a redelivery
+			// after a lost ack, or a joiner retry whose first publish did
+			// land. Settle it without emitting a duplicate.
+			e.resultDedup.Inc()
+			_ = cons.Ack(d.Tag)
 			continue
 		}
 		jr := tuple.NewJoinResult(l, r)
@@ -636,9 +662,15 @@ func (e *Engine) sinkLoop(cons broker.Consumer) {
 			select {
 			case e.results <- jr:
 			case <-e.sinkStop:
-				return // shutting down; unread results are dropped
+				return // shutting down; unread results stay unacked
 			}
 		}
+		// Ack only after the result reached the application; a crash
+		// before this point redelivers the pair and the dedup above
+		// keeps the redelivery from duplicating it. A failed ack
+		// (connection lost mid-settle) leaves the delivery to be
+		// redelivered and suppressed the same way.
+		_ = cons.Ack(d.Tag)
 	}
 }
 
@@ -859,6 +891,116 @@ func (e *Engine) quiet() bool {
 		return false
 	}
 	return emitted == resultsN
+}
+
+// CrashJoiner simulates a crash/restart of one joiner member (for fault
+// testing): the service stops without flushing — in-flight unacked
+// deliveries requeue on its durable queues — sits dead for down, and
+// restarts against the same queues. Tuples delivered but unacked at the
+// crash are redelivered and suppressed by the core's idempotency filter.
+func (e *Engine) CrashJoiner(rel tuple.Relation, idx int, down time.Duration) error {
+	e.mu.Lock()
+	js := *e.joinersLocked(rel)
+	if idx < 0 || idx >= len(js) {
+		e.mu.Unlock()
+		return fmt.Errorf("core: joiner %s[%d] out of range [0,%d)", rel, idx, len(js))
+	}
+	svc := js[idx]
+	e.mu.Unlock()
+	svc.Stop()
+	if down > 0 {
+		time.Sleep(down)
+	}
+	return superviseStart(svc.Start)
+}
+
+// superviseStart retries a service start the way a supervised daemon
+// would: the restart may race a partition or broker outage, and giving
+// up on the first failed declare would turn a transient fault into a
+// permanently missing member.
+func superviseStart(start func() error) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		err := start()
+		if err == nil || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// CrashRouter simulates a crash/restart of one router instance. Entry
+// tuples it held unacked requeue for its siblings (or its own restart);
+// partially published fan-outs repeat on redelivery and are absorbed by
+// joiner dedup.
+func (e *Engine) CrashRouter(idx int, down time.Duration) error {
+	e.mu.Lock()
+	if idx < 0 || idx >= len(e.routers) {
+		e.mu.Unlock()
+		return fmt.Errorf("core: router %d out of range [0,%d)", idx, len(e.routers))
+	}
+	svc := e.routers[idx]
+	e.mu.Unlock()
+	svc.Stop()
+	if down > 0 {
+		time.Sleep(down)
+	}
+	return superviseStart(svc.Start)
+}
+
+// Settle waits until the pipeline's observable progress counters stop
+// changing for idle, or fails after timeout. Unlike Quiesce it does not
+// rely on exact count equalities (routed == ingested and the like),
+// which fault injection breaks: a duplicated delivery inflates routed
+// past tuples_in forever. Stability plus empty reorder/retry buffers is
+// the strongest drain signal that survives duplicates and dead letters.
+func (e *Engine) Settle(idle, timeout time.Duration) error {
+	type fingerprint struct {
+		in, out, routed, fanout, received, emitted, deduped, resultDedup int64
+		pending, backlog                                                 int
+	}
+	sample := func() fingerprint {
+		e.mu.Lock()
+		routers := append([]*router.Service(nil), e.routers...)
+		joiners := e.allJoinersLocked()
+		e.mu.Unlock()
+		fp := fingerprint{
+			in:          e.tuplesIn.Value(),
+			out:         e.resultsN.Value(),
+			resultDedup: e.resultDedup.Value(),
+		}
+		for _, r := range routers {
+			st := r.Stats()
+			fp.routed += st.TuplesRouted
+			fp.fanout += st.JoinFanout
+		}
+		for _, j := range joiners {
+			st := j.Stats()
+			fp.received += st.Received
+			fp.emitted += st.Results
+			fp.deduped += st.Deduped
+			fp.pending += st.Pending
+			fp.backlog += j.RetryBacklog()
+		}
+		return fp
+	}
+	deadline := time.Now().Add(timeout)
+	last := sample()
+	lastChange := time.Now()
+	for {
+		time.Sleep(5 * time.Millisecond)
+		cur := sample()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+		} else if cur.pending == 0 && cur.backlog == 0 && time.Since(lastChange) >= idle {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: settle timed out after %v (pending=%d backlog=%d)",
+				timeout, cur.pending, cur.backlog)
+		}
+	}
 }
 
 // Stop halts all services. Buffered envelopes are flushed through the

@@ -1,0 +1,74 @@
+// Package dedup provides a bounded-memory set of recently seen keys,
+// the idempotency filter that turns the broker's at-least-once
+// redelivery into exactly-once processing: consumers remember the
+// identity of every tuple (or result) they have already handled and
+// suppress duplicates.
+//
+// Memory is bounded by generation rotation: keys live in a current and
+// a previous map; when the current map reaches capacity it becomes the
+// previous one and a fresh map starts. A key is therefore remembered
+// for at least cap and at most 2*cap subsequent insertions — plenty for
+// redelivery, which the broker performs promptly after a consumer
+// crash, while old traffic ages out instead of growing without bound.
+package dedup
+
+// Key identifies one unit of work: (relation, seq) for tuples,
+// (leftSeq, rightSeq) for join results.
+type Key [2]uint64
+
+// Set is the rotating two-generation set. It is not safe for
+// concurrent use; callers serialize access (the joiner service mutex,
+// the engine's single sink goroutine).
+type Set struct {
+	cap        int
+	cur, prev  map[Key]struct{}
+	suppressed int64
+}
+
+// DefaultCap is the per-generation capacity used when New is given a
+// non-positive capacity: 64k keys × 2 generations ≈ 3 MiB worst case.
+const DefaultCap = 1 << 16
+
+// New creates a set that rotates generations every cap insertions.
+func New(cap int) *Set {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Set{cap: cap, cur: make(map[Key]struct{})}
+}
+
+// Seen reports whether k was added within the retention horizon.
+func (s *Set) Seen(k Key) bool {
+	if _, ok := s.cur[k]; ok {
+		return true
+	}
+	_, ok := s.prev[k]
+	return ok
+}
+
+// Add records k, rotating generations when the current one is full.
+func (s *Set) Add(k Key) {
+	if len(s.cur) >= s.cap {
+		s.prev = s.cur
+		s.cur = make(map[Key]struct{}, s.cap/4)
+	}
+	s.cur[k] = struct{}{}
+}
+
+// SeenOrAdd records k and reports whether it was already present — the
+// one-call form consumers use per delivery.
+func (s *Set) SeenOrAdd(k Key) bool {
+	if s.Seen(k) {
+		s.suppressed++
+		return true
+	}
+	s.Add(k)
+	return false
+}
+
+// Suppressed returns how many SeenOrAdd calls found their key already
+// present.
+func (s *Set) Suppressed() int64 { return s.suppressed }
+
+// Len returns the number of retained keys (both generations).
+func (s *Set) Len() int { return len(s.cur) + len(s.prev) }

@@ -1,0 +1,45 @@
+package dedup
+
+import "testing"
+
+func TestSeenOrAdd(t *testing.T) {
+	s := New(4)
+	k := Key{1, 2}
+	if s.SeenOrAdd(k) {
+		t.Fatal("fresh key reported seen")
+	}
+	if !s.SeenOrAdd(k) {
+		t.Fatal("repeated key not suppressed")
+	}
+	if s.Suppressed() != 1 {
+		t.Fatalf("suppressed = %d, want 1", s.Suppressed())
+	}
+}
+
+func TestRotationBoundsMemory(t *testing.T) {
+	s := New(8)
+	for i := uint64(0); i < 100; i++ {
+		s.Add(Key{i, 0})
+	}
+	if s.Len() > 16 {
+		t.Fatalf("len = %d, want <= 2*cap", s.Len())
+	}
+	// Recent keys survive a rotation; ancient ones age out.
+	if !s.Seen(Key{99, 0}) {
+		t.Error("most recent key evicted")
+	}
+	if s.Seen(Key{0, 0}) {
+		t.Error("ancient key still retained")
+	}
+}
+
+func TestRetentionAcrossOneRotation(t *testing.T) {
+	s := New(4)
+	s.Add(Key{1, 1})
+	for i := uint64(10); i < 14; i++ { // forces one rotation
+		s.Add(Key{i, 0})
+	}
+	if !s.Seen(Key{1, 1}) {
+		t.Error("key evicted before two generations elapsed")
+	}
+}

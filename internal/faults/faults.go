@@ -1,0 +1,357 @@
+// Package faults wraps a broker.Client with seeded, deterministic fault
+// injection for crash-safety testing: publishes can be dropped (the
+// caller sees an error and must retry), duplicated, delayed or held
+// back and reordered, per exchange; Cut simulates a network partition
+// during which every broker operation fails and consumers stall; every
+// injected fault is counted in the metric registry (faults.*).
+//
+// The injector sits between the services and the broker, so it
+// exercises exactly the paths a flaky network would: nack-requeue on
+// failed fan-out, the joiners' result retry backlog, and the dedup
+// filters that turn at-least-once redelivery into exactly-once results.
+//
+// Reordering violates the fabric's pairwise-FIFO assumption (§3.3), on
+// which the ordering protocol's punctuation contract rests. It is
+// therefore only safe on the entry exchange, where no stamp has been
+// assigned yet; enabling it on store/join exchanges makes the protocol
+// itself unsound, not just the delivery.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/metrics"
+)
+
+// ErrInjected marks an operation failed (or refused) by the injector
+// rather than by the broker. Test it with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Rule sets one exchange's fault probabilities, each in [0, 1].
+type Rule struct {
+	// Drop fails the publish with ErrInjected without delivering the
+	// message; the caller is expected to retry (and its retry may be
+	// dropped again).
+	Drop float64
+	// Dup publishes the message twice.
+	Dup float64
+	// Delay sleeps a random duration up to MaxDelay before publishing.
+	Delay float64
+	// MaxDelay bounds Delay sleeps; defaults to 2ms.
+	MaxDelay time.Duration
+	// Reorder holds the message back and releases it after the next
+	// publish on the same exchange (swapping their order). Held
+	// messages are flushed by Settle; see the package comment for why
+	// this is only sound on the entry exchange.
+	Reorder float64
+}
+
+// Config configures an injector.
+type Config struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Default applies to exchanges without a PerExchange entry.
+	Default Rule
+	// PerExchange overrides the default per exchange name.
+	PerExchange map[string]Rule
+	// Metrics receives the faults.* counters; nil uses a private
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// held is a publish captured by a Reorder roll, awaiting release.
+type held struct {
+	exchange, key string
+	headers       map[string]string
+	body          []byte
+}
+
+// Client is a fault-injecting broker.Client decorator.
+type Client struct {
+	inner broker.Client
+	cfg   Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cutUntil time.Time
+	disabled bool
+	held     map[string]*held // exchange -> held publish
+
+	drops, dups, delays, reorders, cuts *metrics.Counter
+}
+
+var _ broker.Client = (*Client)(nil)
+var _ broker.ContextPublisher = (*Client)(nil)
+
+// Wrap decorates inner with fault injection.
+func Wrap(inner broker.Client, cfg Config) *Client {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Client{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		held:     make(map[string]*held),
+		drops:    reg.Counter("faults.drop"),
+		dups:     reg.Counter("faults.dup"),
+		delays:   reg.Counter("faults.delay"),
+		reorders: reg.Counter("faults.reorder"),
+		cuts:     reg.Counter("faults.cut"),
+	}
+}
+
+// Cut simulates a network partition for d: every publish, declare,
+// bind and consume fails with ErrInjected and attached consumers stall
+// (deliver nothing) until the cut heals. Acks and nacks still work —
+// failing them would strand deliveries unacked forever, which models a
+// crashed consumer, not a partition; use engine crash hooks for that.
+func (c *Client) Cut(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if until := time.Now().Add(d); until.After(c.cutUntil) {
+		c.cutUntil = until
+	}
+	c.cuts.Inc()
+}
+
+// Disable turns all injection off (including an active cut): the client
+// becomes a transparent passthrough. Held reordered messages are NOT
+// released — call Settle for that.
+func (c *Client) Disable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disabled = true
+	c.cutUntil = time.Time{}
+}
+
+// Settle releases every held reordered message. Tests must call it (or
+// Disable then Settle) before checking completeness: a held message is
+// in flight, not lost, but only Settle completes the flight.
+func (c *Client) Settle() error {
+	c.mu.Lock()
+	hs := make([]*held, 0, len(c.held))
+	for _, h := range c.held {
+		hs = append(hs, h)
+	}
+	c.held = make(map[string]*held)
+	c.mu.Unlock()
+	for _, h := range hs {
+		if err := c.inner.Publish(h.exchange, h.key, h.headers, h.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cutActiveLocked reports whether a partition is in force.
+func (c *Client) cutActiveLocked() bool {
+	return !c.disabled && time.Now().Before(c.cutUntil)
+}
+
+// checkCut fails op with ErrInjected while a partition is active.
+func (c *Client) checkCut(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cutActiveLocked() {
+		return fmt.Errorf("%w: connection cut (%s)", ErrInjected, op)
+	}
+	return nil
+}
+
+// stall blocks while a partition is active (consumer side of a cut).
+func (c *Client) stall() {
+	for {
+		c.mu.Lock()
+		active := c.cutActiveLocked()
+		until := c.cutUntil
+		c.mu.Unlock()
+		if !active {
+			return
+		}
+		time.Sleep(time.Until(until))
+	}
+}
+
+func (c *Client) rule(exchange string) Rule {
+	if r, ok := c.cfg.PerExchange[exchange]; ok {
+		return r
+	}
+	return c.cfg.Default
+}
+
+func (c *Client) DeclareExchange(name string, kind broker.ExchangeKind) error {
+	if err := c.checkCut("declare exchange"); err != nil {
+		return err
+	}
+	return c.inner.DeclareExchange(name, kind)
+}
+
+func (c *Client) DeclareQueue(name string, opts broker.QueueOptions) error {
+	if err := c.checkCut("declare queue"); err != nil {
+		return err
+	}
+	return c.inner.DeclareQueue(name, opts)
+}
+
+func (c *Client) DeleteQueue(name string) error {
+	if err := c.checkCut("delete queue"); err != nil {
+		return err
+	}
+	return c.inner.DeleteQueue(name)
+}
+
+func (c *Client) Bind(queue, exchange, routingKey string) error {
+	if err := c.checkCut("bind"); err != nil {
+		return err
+	}
+	return c.inner.Bind(queue, exchange, routingKey)
+}
+
+func (c *Client) QueueStats(queue string) (broker.QueueStats, error) {
+	return c.inner.QueueStats(queue)
+}
+
+func (c *Client) Close() error { return c.inner.Close() }
+
+func (c *Client) Publish(exchange, routingKey string, headers map[string]string, body []byte) error {
+	return c.publish(context.Background(), exchange, routingKey, headers, body)
+}
+
+// PublishContext routes context-aware publishes (entry backpressure)
+// through the same injection path.
+func (c *Client) PublishContext(ctx context.Context, exchange, routingKey string, headers map[string]string, body []byte) error {
+	return c.publish(ctx, exchange, routingKey, headers, body)
+}
+
+// publish rolls the exchange's rule and applies at most one fault per
+// call (drop beats dup beats reorder; delay composes with any of them),
+// then forwards to the inner client. The decision happens under the
+// injector's lock for a reproducible roll sequence; the forwarding does
+// not, so concurrent publishers interleave exactly as they would on a
+// real fabric.
+func (c *Client) publish(ctx context.Context, exchange, routingKey string, headers map[string]string, body []byte) error {
+	c.mu.Lock()
+	if c.cutActiveLocked() {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: connection cut (publish %s)", ErrInjected, exchange)
+	}
+	var drop, dup bool
+	var delay time.Duration
+	var release *held
+	if !c.disabled {
+		r := c.rule(exchange)
+		if r.Delay > 0 && c.rng.Float64() < r.Delay {
+			maxd := r.MaxDelay
+			if maxd <= 0 {
+				maxd = 2 * time.Millisecond
+			}
+			delay = time.Duration(c.rng.Int63n(int64(maxd))) + 1
+		}
+		switch roll := c.rng.Float64(); {
+		case roll < r.Drop:
+			drop = true
+		case roll < r.Drop+r.Dup:
+			dup = true
+		case roll < r.Drop+r.Dup+r.Reorder:
+			if prev, ok := c.held[exchange]; ok {
+				// Already holding one: swap — this publish goes out
+				// now, the held one right behind it.
+				release = prev
+				delete(c.held, exchange)
+			} else {
+				c.held[exchange] = &held{exchange, routingKey, headers, body}
+				c.reorders.Inc()
+				c.mu.Unlock()
+				return nil // in flight; Settle or the next publish releases it
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		c.delays.Inc()
+		time.Sleep(delay)
+	}
+	if drop {
+		c.drops.Inc()
+		return fmt.Errorf("%w: dropped publish on %q", ErrInjected, exchange)
+	}
+	if err := c.forward(ctx, exchange, routingKey, headers, body); err != nil {
+		return err
+	}
+	if dup {
+		c.dups.Inc()
+		if err := c.forward(ctx, exchange, routingKey, headers, body); err != nil {
+			return err
+		}
+	}
+	if release != nil {
+		return c.forward(ctx, release.exchange, release.key, release.headers, release.body)
+	}
+	return nil
+}
+
+func (c *Client) forward(ctx context.Context, exchange, routingKey string, headers map[string]string, body []byte) error {
+	if cp, ok := c.inner.(broker.ContextPublisher); ok {
+		return cp.PublishContext(ctx, exchange, routingKey, headers, body)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.inner.Publish(exchange, routingKey, headers, body)
+}
+
+// Consume attaches to queue through a stalling decorator: deliveries
+// freeze while a Cut is active, mimicking a partitioned consumer whose
+// broker-side buffer keeps filling. Acks, nacks and cancel pass through
+// unconditionally.
+func (c *Client) Consume(queue string, prefetch int, autoAck bool) (broker.Consumer, error) {
+	if err := c.checkCut("consume"); err != nil {
+		return nil, err
+	}
+	inner, err := c.inner.Consume(queue, prefetch, autoAck)
+	if err != nil {
+		return nil, err
+	}
+	k := &consumer{inner: inner, c: c, out: make(chan broker.Delivery), done: make(chan struct{})}
+	go k.pump()
+	return k, nil
+}
+
+type consumer struct {
+	inner broker.Consumer
+	c     *Client
+	out   chan broker.Delivery
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (k *consumer) pump() {
+	defer close(k.out)
+	for d := range k.inner.Deliveries() {
+		k.c.stall()
+		select {
+		case k.out <- d:
+		case <-k.done:
+			return // cancelled with d unacked; the broker requeues it
+		}
+	}
+}
+
+func (k *consumer) Deliveries() <-chan broker.Delivery { return k.out }
+func (k *consumer) Ack(tag uint64) error               { return k.inner.Ack(tag) }
+func (k *consumer) Nack(tag uint64, requeue bool) error {
+	return k.inner.Nack(tag, requeue)
+}
+func (k *consumer) Cancel() error {
+	k.once.Do(func() { close(k.done) })
+	return k.inner.Cancel()
+}

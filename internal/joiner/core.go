@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"bistream/internal/dedup"
 	"bistream/internal/index"
 	"bistream/internal/metrics"
 	"bistream/internal/predicate"
@@ -60,6 +61,7 @@ type Stats struct {
 	Comparisons int64 // probe candidates examined
 	Results     int64 // join results emitted
 	Expired     int64 // tuples discarded by window expiry
+	Deduped     int64 // redelivered tuples suppressed by the idempotency filter
 	Pending     int   // envelopes buffered by the ordering protocol
 	SubIndexes  int   // live sub-indexes in the chain
 	WindowLen   int   // tuples currently stored
@@ -78,8 +80,13 @@ type Core struct {
 	prefix  string // registry name prefix, "joiner.<rel>.<id>."
 	idx     *index.Chained
 	reorder *protocol.Reorderer
+	// seen makes redelivered tuples idempotent: the broker guarantees
+	// at-least-once delivery (manual acks, requeue on crash), and this
+	// (relation, seq) filter upgrades it to exactly-once processing.
+	seen *dedup.Set
 
 	received    *metrics.Counter
+	deduped     *metrics.Counter
 	stored      *metrics.Counter
 	probed      *metrics.Counter
 	comparisons *metrics.Counter
@@ -130,7 +137,9 @@ func NewCore(cfg Config) (*Core, error) {
 		prefix:      prefix,
 		idx:         idx,
 		reorder:     protocol.NewReorderer(),
+		seen:        dedup.New(0),
 		received:    cfg.Metrics.Counter(prefix + "received"),
+		deduped:     cfg.Metrics.Counter(prefix + "dedup_suppressed"),
 		stored:      cfg.Metrics.Counter(prefix + "stored"),
 		probed:      cfg.Metrics.Counter(prefix + "probed"),
 		comparisons: cfg.Metrics.Counter(prefix + "comparisons"),
@@ -200,6 +209,15 @@ func (c *Core) Flush(emit func(tuple.JoinResult)) {
 
 func (c *Core) process(env protocol.Envelope, emit func(tuple.JoinResult)) {
 	t := env.Tuple
+	if t != nil && c.seen.SeenOrAdd(dedup.Key{uint64(t.Rel), t.Seq}) {
+		// A redelivery of a tuple this member already stored or probed
+		// (consumer crash, requeue, duplicate publish): processing it
+		// again would double-insert or re-emit. Within one core each
+		// (relation, seq) legitimately arrives on exactly one stream,
+		// once, so suppression is safe.
+		c.deduped.Inc()
+		return
+	}
 	switch env.Stream {
 	case protocol.StreamStore:
 		if t.Rel != c.cfg.Rel {
@@ -252,6 +270,7 @@ func (c *Core) Stats() Stats {
 		Comparisons: c.comparisons.Value(),
 		Results:     c.results.Value(),
 		Expired:     c.expired.Value(),
+		Deduped:     c.deduped.Value(),
 		Pending:     c.reorder.Pending(),
 		SubIndexes:  c.idx.NumSubIndexes(),
 		WindowLen:   c.idx.Len(),

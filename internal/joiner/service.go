@@ -3,8 +3,10 @@ package joiner
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/metrics"
 	"bistream/internal/protocol"
 	"bistream/internal/topo"
 	"bistream/internal/tuple"
@@ -15,6 +17,14 @@ import (
 // join-stream queue on the opposite relation's join exchange — each
 // bound to the member's key and to the shared punctuation key, and it
 // publishes join results to the result exchange.
+//
+// Consumption is manual-ack: a delivery is acknowledged only after the
+// core has fully handled it, so a crash between delivery and ack
+// requeues the tuple instead of losing it. Redeliveries are rendered
+// harmless by the core's (relation, seq) idempotency filter. Result
+// publishes that fail (broker down, injected fault) are buffered and
+// retried until the broker is reachable again — the join never drops a
+// result because of a transient publish error.
 type Service struct {
 	core   *Core
 	client broker.Client
@@ -22,9 +32,30 @@ type Service struct {
 	mu        sync.Mutex // serializes core access from the two streams
 	storeCons broker.Consumer
 	joinCons  broker.Consumer
+	stopCh    chan struct{}
 	wg        sync.WaitGroup
 	started   bool
+	// retry holds marshaled result bodies whose publish failed, in emit
+	// order; drained opportunistically after each handled envelope and
+	// by a background ticker while the stream is quiet.
+	retry [][]byte
+
+	redelivered   *metrics.Counter
+	publishErrors *metrics.Counter
+	ackErrors     *metrics.Counter
+	poison        *metrics.Counter
+	dropped       *metrics.Counter
 }
+
+// retryBacklogCap bounds the buffered result bodies during a broker
+// outage (~32k results); beyond it the oldest are dropped and counted,
+// trading bounded memory for completeness exactly like the window
+// state a crashed joiner loses.
+const retryBacklogCap = 1 << 15
+
+// retryInterval paces background republish attempts of buffered
+// results while no deliveries are arriving.
+const retryInterval = 100 * time.Millisecond
 
 // NewService wraps a core with a broker-backed service. The window
 // gauges it registers read the core under the service mutex, so they
@@ -33,6 +64,16 @@ type Service struct {
 func NewService(core *Core, client broker.Client) *Service {
 	s := &Service{core: core, client: client}
 	reg, prefix := core.cfg.Metrics, core.prefix
+	s.redelivered = reg.Counter(prefix + "redelivered")
+	s.publishErrors = reg.Counter(prefix + "publish_errors")
+	s.ackErrors = reg.Counter(prefix + "ack_errors")
+	s.poison = reg.Counter(prefix + "poison")
+	s.dropped = reg.Counter(prefix + "results_dropped")
+	reg.GaugeFunc(prefix+"retry_backlog", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.retry))
+	})
 	reg.GaugeFunc(prefix+"pending", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -64,7 +105,9 @@ func (s *Service) Queues() (string, string) {
 
 // Start declares the shared topology (idempotently — services may come
 // up in any order) and this member's queues, binds them, and begins
-// consuming.
+// consuming. A stopped service can be started again: its queues were
+// kept, so messages that arrived in between (or were requeued unacked)
+// are consumed on resume.
 func (s *Service) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -94,26 +137,29 @@ func (s *Service) Start() error {
 			return err
 		}
 	}
-	storeCons, err := s.client.Consume(storeQ, 256, true)
+	storeCons, err := s.client.Consume(storeQ, 256, false)
 	if err != nil {
 		return err
 	}
-	joinCons, err := s.client.Consume(joinQ, 256, true)
+	joinCons, err := s.client.Consume(joinQ, 256, false)
 	if err != nil {
 		storeCons.Cancel()
 		return err
 	}
 	s.storeCons, s.joinCons = storeCons, joinCons
+	s.stopCh = make(chan struct{})
 	s.started = true
-	s.wg.Add(2)
+	s.wg.Add(3)
 	go s.consumeLoop(storeCons, protocol.SourceStore)
 	go s.consumeLoop(joinCons, protocol.SourceJoin)
+	go s.retryLoop(s.stopCh)
 	return nil
 }
 
-// Stop cancels consumption and waits for the loops to drain. The
-// member's queues stay declared so a restart can resume; Retire deletes
-// them.
+// Stop cancels consumption and waits for the loops to drain. In-flight
+// unacknowledged deliveries are requeued by the broker and redelivered
+// after a restart; the member's queues stay declared so a restart can
+// resume. Retire deletes them.
 func (s *Service) Stop() {
 	s.mu.Lock()
 	if !s.started {
@@ -122,6 +168,7 @@ func (s *Service) Stop() {
 	}
 	s.started = false
 	storeCons, joinCons := s.storeCons, s.joinCons
+	close(s.stopCh)
 	s.mu.Unlock()
 	storeCons.Cancel()
 	joinCons.Cancel()
@@ -166,12 +213,21 @@ func (s *Service) MemBytes() int64 {
 	return s.core.MemBytes()
 }
 
+// RetryBacklog reports how many result publishes are waiting to be
+// retried.
+func (s *Service) RetryBacklog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.retry)
+}
+
 // Flush processes every buffered envelope regardless of punctuation
 // frontiers; results are published. For engine shutdown.
 func (s *Service) Flush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.core.Flush(s.emit)
+	s.drainRetryLocked()
 }
 
 // AddRouter registers a router path with the ordering protocol.
@@ -192,18 +248,80 @@ func (s *Service) RemoveRouter(id int32) {
 func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {
 	defer s.wg.Done()
 	for d := range cons.Deliveries() {
+		if d.Redelivered {
+			s.redelivered.Inc()
+		}
 		env, err := protocol.UnmarshalEnvelope(d.Body)
 		if err != nil {
-			continue // poison message; drop
+			// Poison message: reject without requeue, which routes it to
+			// the dead-letter queue for inspection.
+			s.poison.Inc()
+			if err := cons.Nack(d.Tag, false); err != nil {
+				s.ackErrors.Inc()
+			}
+			continue
 		}
 		s.mu.Lock()
 		s.core.Handle(env, src, s.emit)
+		s.drainRetryLocked()
 		s.mu.Unlock()
+		// Ack after the core fully handled the envelope: a crash before
+		// this point requeues it (at-least-once), and the core's dedup
+		// absorbs the redelivery. An ack that fails (connection lost in
+		// the window) leaves the delivery unacked server-side; it will be
+		// redelivered and suppressed the same way.
+		if err := cons.Ack(d.Tag); err != nil {
+			s.ackErrors.Inc()
+		}
 	}
 }
 
-// emit publishes a join result. Called with s.mu held.
+// retryLoop republishes buffered results while the stream is quiet, so
+// an outage that outlives the traffic still drains the backlog.
+func (s *Service) retryLoop(stop <-chan struct{}) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(retryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.drainRetryLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// emit publishes a join result. Called with s.mu held. On publish
+// failure the body joins the retry backlog instead of being dropped;
+// ordering across results is preserved by never publishing around a
+// non-empty backlog.
 func (s *Service) emit(jr tuple.JoinResult) {
 	body := tuple.AppendBinary(tuple.Marshal(jr.Left), jr.Right)
-	_ = s.client.Publish(topo.ResultExchange, topo.ResultKey, nil, body)
+	if len(s.retry) == 0 {
+		if err := s.client.Publish(topo.ResultExchange, topo.ResultKey, nil, body); err == nil {
+			return
+		}
+		s.publishErrors.Inc()
+	}
+	if len(s.retry) >= retryBacklogCap {
+		s.retry = s.retry[1:]
+		s.dropped.Inc()
+	}
+	s.retry = append(s.retry, body)
+}
+
+// drainRetryLocked republishes buffered results until the backlog is
+// empty or a publish fails again. Called with s.mu held.
+func (s *Service) drainRetryLocked() {
+	for len(s.retry) > 0 {
+		if err := s.client.Publish(topo.ResultExchange, topo.ResultKey, nil, s.retry[0]); err != nil {
+			s.publishErrors.Inc()
+			return
+		}
+		s.retry = s.retry[1:]
+	}
+	s.retry = nil
 }

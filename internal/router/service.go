@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/metrics"
 	"bistream/internal/topo"
 	"bistream/internal/tuple"
 	"bistream/internal/vclock"
@@ -14,6 +15,12 @@ import (
 // Service connects a router core to the broker: it competes with its
 // sibling router instances for raw tuples on the entry queue, fans each
 // out through the core, and emits punctuation signals periodically.
+//
+// Consumption is manual-ack: an entry tuple is acknowledged only after
+// every copy of its fan-out was published, so a router crash mid-fanout
+// requeues the tuple for a sibling (or a restart) instead of losing it.
+// The partially published copies become duplicates on redelivery; the
+// joiners' idempotency filter absorbs them.
 type Service struct {
 	core   *Core
 	client broker.Client
@@ -27,6 +34,11 @@ type Service struct {
 	doneCh   chan struct{}
 	puncDone chan struct{}
 	started  bool
+
+	redelivered   *metrics.Counter
+	publishErrors *metrics.Counter
+	ackErrors     *metrics.Counter
+	poison        *metrics.Counter
 }
 
 // ServiceConfig configures a router service.
@@ -41,6 +53,12 @@ type ServiceConfig struct {
 // DefaultPunctuationInterval mirrors the 20ms suggestion of §3.3.
 const DefaultPunctuationInterval = 20 * time.Millisecond
 
+// publishRetryDelay spaces redeliveries after a failed fan-out publish
+// or a not-yet-installed layout: the nacked tuple returns to the queue
+// head, and without a pause the consume loop would spin through the
+// redelivery bound during a broker outage.
+const publishRetryDelay = 5 * time.Millisecond
+
 // NewService wraps core with a broker-backed service. clock defaults to
 // the wall clock.
 func NewService(core *Core, client broker.Client, clock vclock.Clock, cfg ServiceConfig) *Service {
@@ -53,17 +71,22 @@ func NewService(core *Core, client broker.Client, clock vclock.Clock, cfg Servic
 	if cfg.Prefetch <= 0 {
 		cfg.Prefetch = 64
 	}
+	reg, prefix := core.cfg.Metrics, core.prefix
 	return &Service{
-		core:   core,
-		client: client,
-		clock:  clock,
-		punct:  cfg.PunctuationInterval,
-		stopCh: make(chan struct{}),
+		core:          core,
+		client:        client,
+		clock:         clock,
+		punct:         cfg.PunctuationInterval,
+		redelivered:   reg.Counter(prefix + "redelivered"),
+		publishErrors: reg.Counter(prefix + "publish_errors"),
+		ackErrors:     reg.Counter(prefix + "ack_errors"),
+		poison:        reg.Counter(prefix + "poison"),
 	}
 }
 
 // Start declares topology, attaches to the entry queue and launches the
-// routing and punctuation loops.
+// routing and punctuation loops. A stopped service can be started
+// again.
 func (s *Service) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -73,16 +96,17 @@ func (s *Service) Start() error {
 	if err := topo.Declare(s.client); err != nil {
 		return err
 	}
-	cons, err := s.client.Consume(topo.EntryQueue, 64, true)
+	cons, err := s.client.Consume(topo.EntryQueue, 64, false)
 	if err != nil {
 		return err
 	}
 	s.cons = cons
+	s.stopCh = make(chan struct{})
 	s.doneCh = make(chan struct{})
 	s.puncDone = make(chan struct{})
 	s.started = true
-	go s.routeLoop()
-	go s.punctuationLoop()
+	go s.routeLoop(cons, s.stopCh, s.doneCh)
+	go s.punctuationLoop(s.stopCh, s.puncDone)
 	return nil
 }
 
@@ -103,16 +127,18 @@ func (s *Service) stop(retire bool) {
 	s.started = false
 	close(s.stopCh)
 	cons := s.cons
+	doneCh, puncDone := s.doneCh, s.puncDone
 	s.mu.Unlock()
 	cons.Cancel()
-	<-s.doneCh
-	<-s.puncDone
+	<-doneCh
+	<-puncDone
 	if retire {
 		s.coreMu.Lock()
 		dests := s.core.Retire()
 		s.coreMu.Unlock()
 		for _, dst := range dests {
 			if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
+				s.publishErrors.Inc()
 				break
 			}
 		}
@@ -148,12 +174,25 @@ func (s *Service) Stats() Stats {
 // has already been published (pairwise FIFO then delivers it first), so
 // the stamp and its publish must not interleave with a punctuation
 // publish.
-func (s *Service) routeLoop() {
-	defer close(s.doneCh)
-	for d := range s.cons.Deliveries() {
+//
+// Failure handling: a tuple whose fan-out cannot complete (no layout
+// yet, or a publish error) is nack-requeued and retried — by this
+// router, a sibling, or a restart — rather than dropped or allowed to
+// kill the loop. The broker dead-letters it if it exhausts the entry
+// queue's redelivery bound.
+func (s *Service) routeLoop(cons broker.Consumer, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for d := range cons.Deliveries() {
+		if d.Redelivered {
+			s.redelivered.Inc()
+		}
 		t, err := tuple.Unmarshal(d.Body)
 		if err != nil {
-			continue // poison message; drop
+			s.poison.Inc()
+			if err := cons.Nack(d.Tag, false); err != nil { // dead-letter
+				s.ackErrors.Inc()
+			}
+			continue
 		}
 		if s.core.cfg.StampIngest && t.TraceNS == 0 {
 			t.TraceNS = s.core.cfg.Trace.Stamp()
@@ -161,16 +200,44 @@ func (s *Service) routeLoop() {
 		s.coreMu.Lock()
 		dests, err := s.core.Route(t, s.clock.Now())
 		if err != nil {
+			// No layout installed yet: requeue and pause so the tuple
+			// waits for SetLayout instead of spinning at the queue head.
 			s.coreMu.Unlock()
-			continue // no layout yet; drop rather than wedge the queue
+			if err := cons.Nack(d.Tag, true); err != nil {
+				s.ackErrors.Inc()
+			}
+			s.pause(stop)
+			continue
 		}
+		failed := false
 		for _, dst := range dests {
 			if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
-				s.coreMu.Unlock()
-				return
+				s.publishErrors.Inc()
+				failed = true
+				break
 			}
 		}
 		s.coreMu.Unlock()
+		if failed {
+			// Partial fan-out: requeue the whole tuple. Copies already
+			// published repeat on retry; joiner dedup suppresses them.
+			if err := cons.Nack(d.Tag, true); err != nil {
+				s.ackErrors.Inc()
+			}
+			s.pause(stop)
+			continue
+		}
+		if err := cons.Ack(d.Tag); err != nil {
+			s.ackErrors.Inc()
+		}
+	}
+}
+
+// pause sleeps publishRetryDelay or until stop closes.
+func (s *Service) pause(stop <-chan struct{}) {
+	select {
+	case <-stop:
+	case <-time.After(publishRetryDelay):
 	}
 }
 
@@ -179,11 +246,11 @@ func (s *Service) routeLoop() {
 // latency but does not affect correctness or the experiments' virtual
 // time, and a simulated clock only advances when its driver says so,
 // which would starve the protocol.
-func (s *Service) punctuationLoop() {
-	defer close(s.puncDone)
+func (s *Service) punctuationLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
 	for {
 		select {
-		case <-s.stopCh:
+		case <-stop:
 			return
 		case <-time.After(s.punct):
 			s.publishPunctuation()
@@ -192,12 +259,15 @@ func (s *Service) punctuationLoop() {
 }
 
 // publishPunctuation holds coreMu across the signal's computation and
-// publish; see routeLoop for why.
+// publish; see routeLoop for why. A failed punctuation publish is
+// counted but not retried: punctuation is periodic and idempotent
+// (frontiers are max-merged), so the next tick repairs the gap.
 func (s *Service) publishPunctuation() {
 	s.coreMu.Lock()
 	defer s.coreMu.Unlock()
 	for _, dst := range s.core.Punctuate() {
 		if err := s.client.Publish(dst.Exchange, dst.Key, nil, dst.Env.Marshal()); err != nil {
+			s.publishErrors.Inc()
 			return
 		}
 	}

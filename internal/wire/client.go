@@ -4,30 +4,107 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/metrics"
 )
 
-// Client is a broker.Client talking to a remote brokerd over one TCP
-// connection. It is safe for concurrent use: requests are correlated by
-// id and deliveries are demultiplexed to per-consumer channels. The
-// client assigns consumer ids itself and registers the consumer before
-// sending the Consume request, so no delivery can race past
-// registration.
+// Typed errors surfaced by a reconnecting client. In-flight requests
+// never hang on a dead connection: they fail with an error wrapping
+// ErrConnLost, and the caller decides whether to retry (the client will
+// be dialing in the background).
+var (
+	// ErrConnLost marks a request that failed because the connection to
+	// brokerd dropped (or was never up). With Reconnect enabled the
+	// client is re-dialing; retry later.
+	ErrConnLost = errors.New("wire: connection lost")
+	// ErrClientClosed marks a request issued after Close.
+	ErrClientClosed = errors.New("wire: client closed")
+	// ErrStaleDelivery marks an Ack/Nack for a delivery received over a
+	// previous connection: the server already requeued it at disconnect,
+	// so settling it here would target the wrong message.
+	ErrStaleDelivery = errors.New("wire: stale delivery from a previous connection")
+)
+
+// Config configures Connect.
+type Config struct {
+	// Addr is the brokerd address ("host:port").
+	Addr string
+	// Reconnect makes the client survive broker restarts: lost
+	// connections are re-dialed with jittered exponential backoff, the
+	// recorded topology (declares and binds) is replayed, and consumers
+	// are re-attached. Without it the client dies with its connection,
+	// as Dial always behaved.
+	Reconnect bool
+	// DialTimeout bounds one dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// InitialBackoff and MaxBackoff bound the reconnect backoff ramp.
+	// Defaults 50ms and 5s.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// Heartbeat enables a liveness probe: when no frame arrives for the
+	// interval a ping is sent, and a connection silent for three
+	// intervals is force-closed (detecting half-open TCP). Zero
+	// disables.
+	Heartbeat time.Duration
+	// Seed makes the backoff jitter deterministic for tests; zero seeds
+	// from the clock.
+	Seed int64
+	// Metrics optionally registers wire.connects / wire.disconnects /
+	// wire.heartbeat_timeouts counters.
+	Metrics *metrics.Registry
+	// Logf reports reconnect-loop progress; nil discards.
+	Logf func(string, ...any)
+}
+
+// Client is a broker.Client talking to a remote brokerd over TCP. It is
+// safe for concurrent use: requests are correlated by id and deliveries
+// are demultiplexed to per-consumer channels. The client assigns
+// consumer ids itself and registers the consumer before sending the
+// Consume request, so no delivery can race past registration.
+//
+// With Config.Reconnect the client owns the connection lifecycle: see
+// Config. Deliveries received over a connection that subsequently died
+// are dropped from consumer buffers (the server requeued them), and
+// settling one that was already handed out fails with ErrStaleDelivery.
 type Client struct {
-	conn net.Conn
+	cfg Config
+	gen atomic.Uint64 // connection generation, bumped per (re)connect
+
+	connects          *metrics.Counter
+	disconnects       *metrics.Counter
+	heartbeatTimeouts *metrics.Counter
 
 	writeMu sync.Mutex // serializes frames onto the socket
 
 	mu        sync.Mutex
+	conn      net.Conn // nil while disconnected
+	rng       *rand.Rand
+	lastRead  time.Time
 	nextReq   uint64
 	nextCons  uint64
 	pending   map[uint64]chan response
 	consumers map[uint64]*remoteConsumer
+	topo      []topoRecord
 	closed    bool
+	closeCh   chan struct{}
+}
+
+// topoRecord is one replayable topology operation, kept in issue order
+// so replay reconstructs the same broker state after a restart.
+type topoRecord struct {
+	op    byte // 'e'xchange, 'q'ueue, 'b'ind
+	name  string
+	kind  broker.ExchangeKind
+	opts  broker.QueueOptions
+	queue string
+	key   string
 }
 
 type response struct {
@@ -36,23 +113,112 @@ type response struct {
 	kind  byte
 }
 
-// Dial connects to a brokerd at addr.
+// Dial connects to a brokerd at addr with the legacy single-connection
+// lifecycle: the client dies with its connection.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return Connect(Config{Addr: addr})
+}
+
+// Connect creates a client per cfg. With Reconnect it keeps dialing
+// (backoff between attempts) until the first connection succeeds, so a
+// daemon supervised by Connect simply waits for its broker to come up;
+// without Reconnect it makes exactly one attempt.
+func Connect(cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
 	}
 	c := &Client{
-		conn:      conn,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
 		pending:   make(map[uint64]chan response),
 		consumers: make(map[uint64]*remoteConsumer),
+		closeCh:   make(chan struct{}),
 	}
-	go c.readLoop()
+	if cfg.Metrics != nil {
+		c.connects = cfg.Metrics.Counter("wire.connects")
+		c.disconnects = cfg.Metrics.Counter("wire.disconnects")
+		c.heartbeatTimeouts = cfg.Metrics.Counter("wire.heartbeat_timeouts")
+	} else {
+		c.connects = &metrics.Counter{}
+		c.disconnects = &metrics.Counter{}
+		c.heartbeatTimeouts = &metrics.Counter{}
+	}
+	backoff := cfg.InitialBackoff
+	for {
+		conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		if err == nil {
+			c.install(conn)
+			break
+		}
+		if !cfg.Reconnect {
+			return nil, err
+		}
+		cfg.Logf("wire: dial %s: %v (retrying in %v)", cfg.Addr, err, backoff)
+		select {
+		case <-time.After(c.jitter(backoff)):
+		case <-c.closeCh:
+			return nil, ErrClientClosed
+		}
+		backoff = minDuration(2*backoff, cfg.MaxBackoff)
+	}
+	if cfg.Heartbeat > 0 {
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
-// Close drops the connection; outstanding requests fail and consumer
-// channels close.
+// jitter spreads a backoff delay uniformly over [d/2, d) so a fleet of
+// clients does not reconnect in lockstep.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// install makes conn the live connection and starts its read loop.
+func (c *Client) install(conn net.Conn) {
+	gen := c.gen.Add(1)
+	c.mu.Lock()
+	c.conn = conn
+	c.lastRead = time.Now()
+	cons := make([]*remoteConsumer, 0, len(c.consumers))
+	for _, rc := range c.consumers {
+		cons = append(cons, rc)
+	}
+	c.mu.Unlock()
+	// Deliveries buffered from the dead connection were requeued by the
+	// server at disconnect; drop them so the application never holds a
+	// tag it cannot settle.
+	for _, rc := range cons {
+		rc.dropStale(gen)
+	}
+	c.connects.Inc()
+	go c.readLoop(conn, gen)
+}
+
+// Close drops the connection and stops any reconnecting; outstanding
+// requests fail and consumer channels close.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -60,36 +226,186 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.closeCh)
+	conn := c.conn
 	c.mu.Unlock()
-	return c.conn.Close()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
-func (c *Client) readLoop() {
+// Generation reports how many connections the client has established;
+// it increments on every successful (re)connect.
+func (c *Client) Generation() uint64 { return c.gen.Load() }
+
+// Connected reports whether a connection is currently live.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
+}
+
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	var err error
 	for {
 		var frame []byte
-		frame, err = readFrame(c.conn)
+		frame, err = readFrame(conn)
 		if err != nil {
 			break
 		}
+		c.mu.Lock()
+		c.lastRead = time.Now()
+		c.mu.Unlock()
 		if err = c.dispatch(frame); err != nil {
 			break
 		}
 	}
+	conn.Close()
+	c.connLost(conn, gen, err)
+}
+
+// connLost handles the death of the connection of generation gen:
+// in-flight requests fail with ErrConnLost, and either the reconnect
+// loop takes over or (legacy lifecycle / after Close) the client shuts
+// down for good.
+func (c *Client) connLost(conn net.Conn, gen uint64, cause error) {
 	c.mu.Lock()
-	c.closed = true
+	if c.conn != conn {
+		// A newer connection was already installed; nothing to do.
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	closed := c.closed
+	reconnect := c.cfg.Reconnect && !closed
 	pend := c.pending
-	c.pending = map[uint64]chan response{}
-	cons := c.consumers
-	c.consumers = map[uint64]*remoteConsumer{}
+	c.pending = make(map[uint64]chan response)
+	var cons []*remoteConsumer
+	if !reconnect {
+		for _, rc := range c.consumers {
+			cons = append(cons, rc)
+		}
+		c.consumers = make(map[uint64]*remoteConsumer)
+		c.closed = true
+	}
 	c.mu.Unlock()
+	c.disconnects.Inc()
 	for _, ch := range pend {
-		ch <- response{err: fmt.Errorf("wire: connection lost: %w", err)}
+		ch <- response{err: fmt.Errorf("%w: %v", ErrConnLost, cause)}
+	}
+	if reconnect {
+		c.cfg.Logf("wire: connection to %s lost: %v (reconnecting)", c.cfg.Addr, cause)
+		go c.reconnectLoop()
+		return
 	}
 	for _, rc := range cons {
 		rc.finish()
 	}
-	c.conn.Close()
+}
+
+// reconnectLoop re-dials with jittered exponential backoff, then
+// replays topology and re-attaches consumers. If the fresh connection
+// dies during replay its own read loop reports connLost and spawns the
+// next reconnectLoop, so this one never loops on replay failures.
+func (c *Client) reconnectLoop() {
+	backoff := c.cfg.InitialBackoff
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case <-time.After(c.jitter(backoff)):
+		}
+		backoff = minDuration(2*backoff, c.cfg.MaxBackoff)
+		conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		if err != nil {
+			c.cfg.Logf("wire: redial %s: %v", c.cfg.Addr, err)
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.mu.Unlock()
+		c.install(conn)
+		c.cfg.Logf("wire: reconnected to %s", c.cfg.Addr)
+		c.replay()
+		return
+	}
+}
+
+// replay re-declares the recorded topology and re-attaches consumers on
+// the current connection. Errors are logged, not fatal: a replay cut
+// short by another disconnect is retried by the next reconnect.
+func (c *Client) replay() {
+	c.mu.Lock()
+	topo := append([]topoRecord(nil), c.topo...)
+	cons := make([]*remoteConsumer, 0, len(c.consumers))
+	for _, rc := range c.consumers {
+		cons = append(cons, rc)
+	}
+	c.mu.Unlock()
+	for _, rec := range topo {
+		var err error
+		switch rec.op {
+		case 'e':
+			err = c.declareExchange(rec.name, rec.kind, false)
+		case 'q':
+			err = c.declareQueue(rec.name, rec.opts, false)
+		case 'b':
+			err = c.bind(rec.queue, rec.name, rec.key, false)
+		}
+		if err != nil {
+			c.cfg.Logf("wire: topology replay: %v", err)
+			return
+		}
+	}
+	for _, rc := range cons {
+		if err := c.attach(rc); err != nil {
+			c.cfg.Logf("wire: consumer re-attach (queue %s): %v", rc.queue, err)
+			return
+		}
+	}
+}
+
+// heartbeatLoop probes connection liveness. A connection that has
+// delivered nothing for an interval gets a ping (the reply refreshes
+// lastRead); one silent for three intervals is declared half-open and
+// force-closed, which routes recovery through the reconnect loop.
+func (c *Client) heartbeatLoop() {
+	ticker := time.NewTicker(c.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		conn := c.conn
+		idle := time.Since(c.lastRead)
+		c.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		if idle >= 3*c.cfg.Heartbeat {
+			c.heartbeatTimeouts.Inc()
+			c.cfg.Logf("wire: heartbeat timeout after %v; dropping connection", idle)
+			conn.Close() // readLoop notices and triggers connLost
+			continue
+		}
+		if idle >= c.cfg.Heartbeat {
+			go func() { _ = c.Ping() }()
+		}
+	}
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	payload, id := c.newRequest(opPing)
+	return c.simpleCall(payload, id)
 }
 
 func (c *Client) dispatch(frame []byte) error {
@@ -146,7 +462,7 @@ func (c *Client) dispatch(frame []byte) error {
 				Queue:       queue,
 				Tag:         tag,
 				Redelivered: redelivered,
-			})
+			}, c.gen.Load())
 		}
 	case opConsumerEOF:
 		id := r.uint64()
@@ -199,24 +515,32 @@ func remoteError(msg string) error {
 }
 
 // call sends a request frame and waits for its correlated response.
+// With no live connection it fails fast with ErrConnLost instead of
+// hanging; the pending entry is registered while holding the lock that
+// connLost drains under, so the response channel is always completed.
 func (c *Client) call(payload []byte, reqID uint64) (response, error) {
 	ch := make(chan response, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return response{}, broker.ErrClosed
+		return response{}, ErrClientClosed
+	}
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		return response{}, ErrConnLost
 	}
 	c.pending[reqID] = ch
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, payload)
+	err := writeFrame(conn, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, reqID)
 		c.mu.Unlock()
-		return response{}, err
+		return response{}, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 	return <-ch, nil
 }
@@ -239,38 +563,88 @@ func (c *Client) simpleCall(payload []byte, id uint64) error {
 	return resp.err
 }
 
+// record appends a topology record unless an identical one exists.
+func (c *Client) record(rec topoRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range c.topo {
+		if have == rec {
+			return
+		}
+	}
+	c.topo = append(c.topo, rec)
+}
+
 // DeclareExchange implements broker.Client.
 func (c *Client) DeclareExchange(name string, kind broker.ExchangeKind) error {
+	return c.declareExchange(name, kind, true)
+}
+
+func (c *Client) declareExchange(name string, kind broker.ExchangeKind, remember bool) error {
 	payload, id := c.newRequest(opDeclareExchange)
 	payload = appendString(payload, name)
 	payload = append(payload, byte(kind))
-	return c.simpleCall(payload, id)
+	err := c.simpleCall(payload, id)
+	if err == nil && remember && c.cfg.Reconnect {
+		c.record(topoRecord{op: 'e', name: name, kind: kind})
+	}
+	return err
 }
 
 // DeclareQueue implements broker.Client.
 func (c *Client) DeclareQueue(name string, opts broker.QueueOptions) error {
+	return c.declareQueue(name, opts, true)
+}
+
+func (c *Client) declareQueue(name string, opts broker.QueueOptions, remember bool) error {
 	payload, id := c.newRequest(opDeclareQueue)
 	payload = appendString(payload, name)
 	payload = append(payload, boolByte(opts.AutoDelete))
 	payload = binary.AppendUvarint(payload, uint64(opts.MaxLen))
 	payload = append(payload, boolByte(opts.Durable))
-	return c.simpleCall(payload, id)
+	payload = binary.AppendUvarint(payload, uint64(opts.MaxRedeliver+1))
+	err := c.simpleCall(payload, id)
+	if err == nil && remember && c.cfg.Reconnect {
+		c.record(topoRecord{op: 'q', name: name, opts: opts})
+	}
+	return err
 }
 
 // DeleteQueue implements broker.Client.
 func (c *Client) DeleteQueue(name string) error {
 	payload, id := c.newRequest(opDeleteQueue)
 	payload = appendString(payload, name)
-	return c.simpleCall(payload, id)
+	err := c.simpleCall(payload, id)
+	if err == nil {
+		c.mu.Lock()
+		kept := c.topo[:0]
+		for _, rec := range c.topo {
+			if (rec.op == 'q' && rec.name == name) || (rec.op == 'b' && rec.queue == name) {
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		c.topo = kept
+		c.mu.Unlock()
+	}
+	return err
 }
 
 // Bind implements broker.Client.
 func (c *Client) Bind(queue, exchange, routingKey string) error {
+	return c.bind(queue, exchange, routingKey, true)
+}
+
+func (c *Client) bind(queue, exchange, routingKey string, remember bool) error {
 	payload, id := c.newRequest(opBind)
 	payload = appendString(payload, queue)
 	payload = appendString(payload, exchange)
 	payload = appendString(payload, routingKey)
-	return c.simpleCall(payload, id)
+	err := c.simpleCall(payload, id)
+	if err == nil && remember && c.cfg.Reconnect {
+		c.record(topoRecord{op: 'b', queue: queue, name: exchange, key: routingKey})
+	}
+	return err
 }
 
 // Publish implements broker.Client. The call blocks until the server
@@ -293,24 +667,15 @@ func (c *Client) Consume(queue string, prefetch int, autoAck bool) (broker.Consu
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, broker.ErrClosed
+		return nil, ErrClientClosed
 	}
 	c.nextCons++
 	consID := c.nextCons
-	rc := newRemoteConsumer(c, consID)
+	rc := newRemoteConsumer(c, consID, queue, prefetch, autoAck)
 	c.consumers[consID] = rc
 	c.mu.Unlock()
 
-	payload, id := c.newRequest(opConsume)
-	payload = binary.LittleEndian.AppendUint64(payload, consID)
-	payload = appendString(payload, queue)
-	payload = binary.AppendUvarint(payload, uint64(prefetch))
-	payload = append(payload, boolByte(autoAck))
-	resp, err := c.call(payload, id)
-	if err == nil && resp.err != nil {
-		err = resp.err
-	}
-	if err != nil {
+	if err := c.attach(rc); err != nil {
 		c.mu.Lock()
 		delete(c.consumers, consID)
 		c.mu.Unlock()
@@ -318,6 +683,23 @@ func (c *Client) Consume(queue string, prefetch int, autoAck bool) (broker.Consu
 		return nil, err
 	}
 	return rc, nil
+}
+
+// attach sends the Consume request for rc on the current connection;
+// used both for the initial subscription and for re-attachment after a
+// reconnect (same consumer id, so in-flight deliveries keep routing to
+// the same channel).
+func (c *Client) attach(rc *remoteConsumer) error {
+	payload, id := c.newRequest(opConsume)
+	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
+	payload = appendString(payload, rc.queue)
+	payload = binary.AppendUvarint(payload, uint64(rc.prefetch))
+	payload = append(payload, boolByte(rc.autoAck))
+	resp, err := c.call(payload, id)
+	if err == nil && resp.err != nil {
+		err = resp.err
+	}
+	return err
 }
 
 // QueueStats implements broker.Client.
@@ -336,36 +718,73 @@ func (c *Client) QueueStats(queue string) (broker.QueueStats, error) {
 // client's read loop (which also carries request replies). The server
 // side enforces prefetch, keeping the buffer small in practice.
 type remoteConsumer struct {
-	c    *Client
-	id   uint64
-	ch   chan broker.Delivery
-	dead chan struct{} // closed on Cancel: the forwarder must not block
-	once sync.Once
+	c        *Client
+	id       uint64
+	queue    string
+	prefetch int
+	autoAck  bool
+	ch       chan broker.Delivery
+	dead     chan struct{} // closed on Cancel: the forwarder must not block
+	once     sync.Once
 
 	mu     sync.Mutex
-	buf    []broker.Delivery
+	buf    []genDelivery
+	tags   map[uint64]uint64 // delivery tag -> connection generation
 	eof    bool
 	notify chan struct{}
 }
 
-func newRemoteConsumer(c *Client, id uint64) *remoteConsumer {
+type genDelivery struct {
+	d   broker.Delivery
+	gen uint64
+}
+
+func newRemoteConsumer(c *Client, id uint64, queue string, prefetch int, autoAck bool) *remoteConsumer {
 	rc := &remoteConsumer{
-		c:      c,
-		id:     id,
-		ch:     make(chan broker.Delivery),
-		dead:   make(chan struct{}),
-		notify: make(chan struct{}, 1),
+		c:        c,
+		id:       id,
+		queue:    queue,
+		prefetch: prefetch,
+		autoAck:  autoAck,
+		ch:       make(chan broker.Delivery),
+		dead:     make(chan struct{}),
+		tags:     make(map[uint64]uint64),
+		notify:   make(chan struct{}, 1),
 	}
 	go rc.forward()
 	return rc
 }
 
 // push is called from the client's read loop; it never blocks.
-func (rc *remoteConsumer) push(d broker.Delivery) {
+func (rc *remoteConsumer) push(d broker.Delivery, gen uint64) {
 	rc.mu.Lock()
-	rc.buf = append(rc.buf, d)
+	rc.buf = append(rc.buf, genDelivery{d, gen})
+	if !rc.autoAck {
+		rc.tags[d.Tag] = gen
+	}
 	rc.mu.Unlock()
 	rc.wake()
+}
+
+// dropStale discards buffered deliveries (and tag records) from
+// connections older than gen: the server requeued them when the old
+// connection died, so handing them out would let the application settle
+// tags the new session does not know.
+func (rc *remoteConsumer) dropStale(gen uint64) {
+	rc.mu.Lock()
+	kept := rc.buf[:0]
+	for _, gd := range rc.buf {
+		if gd.gen >= gen {
+			kept = append(kept, gd)
+		}
+	}
+	rc.buf = kept
+	for tag, g := range rc.tags {
+		if g < gen {
+			delete(rc.tags, tag)
+		}
+	}
+	rc.mu.Unlock()
 }
 
 // finish marks end-of-stream; buffered deliveries still drain.
@@ -401,11 +820,14 @@ func (rc *remoteConsumer) forward() {
 			}
 			continue
 		}
-		d := rc.buf[0]
+		gd := rc.buf[0]
 		rc.buf = rc.buf[1:]
 		rc.mu.Unlock()
+		if gd.gen < rc.c.gen.Load() {
+			continue // went stale while buffered; the server requeued it
+		}
 		select {
-		case rc.ch <- d:
+		case rc.ch <- gd.d:
 		case <-rc.dead:
 			// Cancelled with an unread buffer and no reader: drop the
 			// remainder rather than leak this goroutine. The server has
@@ -419,16 +841,37 @@ func (rc *remoteConsumer) forward() {
 // Deliveries implements broker.Consumer.
 func (rc *remoteConsumer) Deliveries() <-chan broker.Delivery { return rc.ch }
 
-// Ack implements broker.Consumer.
+// settleable checks the tag belongs to the current connection,
+// forgetting it either way.
+func (rc *remoteConsumer) settleable(tag uint64) error {
+	rc.mu.Lock()
+	gen, ok := rc.tags[tag]
+	delete(rc.tags, tag)
+	rc.mu.Unlock()
+	if !ok || gen < rc.c.gen.Load() {
+		return ErrStaleDelivery
+	}
+	return nil
+}
+
+// Ack implements broker.Consumer. Acking a delivery that arrived over a
+// previous connection fails with ErrStaleDelivery: the server already
+// requeued it, and the tag may meanwhile identify a different message.
 func (rc *remoteConsumer) Ack(tag uint64) error {
+	if err := rc.settleable(tag); err != nil {
+		return err
+	}
 	payload, id := rc.c.newRequest(opAck)
 	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
 	payload = binary.LittleEndian.AppendUint64(payload, tag)
 	return rc.c.simpleCall(payload, id)
 }
 
-// Nack implements broker.Consumer.
+// Nack implements broker.Consumer; see Ack for stale-delivery handling.
 func (rc *remoteConsumer) Nack(tag uint64, requeue bool) error {
+	if err := rc.settleable(tag); err != nil {
+		return err
+	}
 	payload, id := rc.c.newRequest(opNack)
 	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
 	payload = binary.LittleEndian.AppendUint64(payload, tag)
@@ -436,7 +879,8 @@ func (rc *remoteConsumer) Nack(tag uint64, requeue bool) error {
 	return rc.c.simpleCall(payload, id)
 }
 
-// Cancel implements broker.Consumer.
+// Cancel implements broker.Consumer. Local teardown happens even when
+// the connection is down (the server side was torn down with it).
 func (rc *remoteConsumer) Cancel() error {
 	payload, id := rc.c.newRequest(opCancel)
 	payload = binary.LittleEndian.AppendUint64(payload, rc.id)
@@ -446,5 +890,8 @@ func (rc *remoteConsumer) Cancel() error {
 	rc.c.mu.Unlock()
 	rc.once.Do(func() { close(rc.dead) })
 	rc.finish()
+	if errors.Is(err, ErrConnLost) || errors.Is(err, ErrClientClosed) {
+		return nil // nothing to cancel server-side; local teardown done
+	}
 	return err
 }

@@ -40,6 +40,12 @@ const (
 	opStatsReply // reqID, errString, stats
 	opDeliver    // consumerID, delivery
 	opConsumerEOF
+
+	// opPing is a liveness probe: the server echoes an empty opReply.
+	// The client's heartbeat uses it to detect half-open TCP connections
+	// that deliver neither frames nor errors. Appended last so earlier
+	// opcode values stay stable.
+	opPing
 )
 
 // maxFrame bounds a single frame; tuples are small, so anything larger
@@ -220,6 +226,8 @@ func encodeStats(dst []byte, st broker.QueueStats) []byte {
 	dst = binary.AppendUvarint(dst, uint64(st.Published))
 	dst = binary.AppendUvarint(dst, uint64(st.Delivered))
 	dst = binary.AppendUvarint(dst, uint64(st.Acked))
+	dst = binary.AppendUvarint(dst, uint64(st.Redelivered))
+	dst = binary.AppendUvarint(dst, uint64(st.DeadLettered))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.InRate))
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.OutRate))
 	return dst
@@ -234,6 +242,8 @@ func (r *reader) stats() broker.QueueStats {
 	st.Published = int64(r.uvarint())
 	st.Delivered = int64(r.uvarint())
 	st.Acked = int64(r.uvarint())
+	st.Redelivered = int64(r.uvarint())
+	st.DeadLettered = int64(r.uvarint())
 	st.InRate = math.Float64frombits(r.uint64())
 	st.OutRate = math.Float64frombits(r.uint64())
 	return st

@@ -175,11 +175,13 @@ func (sess *session) handle(frame []byte) error {
 		autoDelete := r.bool()
 		maxLen := int(r.uvarint())
 		durable := r.bool()
+		maxRedeliver := int(r.uvarint()) - 1 // shifted: unlimited (-1) travels as 0
 		if r.err != nil {
 			return r.err
 		}
 		return sess.reply(reqID, b.DeclareQueue(name, broker.QueueOptions{
 			AutoDelete: autoDelete, MaxLen: maxLen, Durable: durable,
+			MaxRedeliver: maxRedeliver,
 		}))
 	case opDeleteQueue:
 		name := r.string()
@@ -261,6 +263,11 @@ func (sess *session) handle(frame []byte) error {
 			err = c.Cancel()
 		}
 		return sess.reply(reqID, err)
+	case opPing:
+		if r.err != nil {
+			return r.err
+		}
+		return sess.reply(reqID, nil)
 	case opQueueStats:
 		name := r.string()
 		if r.err != nil {
