@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke check bench clean
+.PHONY: build test race vet fuzz-smoke check bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/tuple
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalPair$$' -fuzztime $(FUZZTIME) ./internal/tuple
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/protocol
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeManifest$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # The gate new changes must pass before merging.
 check: vet build race fuzz-smoke
@@ -32,6 +34,13 @@ check: vet build race fuzz-smoke
 # see EXPERIMENTS.md for `bistream exp all`).
 bench:
 	$(GO) test -bench 'EngineIngest' -benchmem .
+
+# Machine-readable bench snapshot: raw `go test -bench` text converted
+# to a JSON array of {name, runs, ns_per_op, ...} records, written to
+# BENCH_<date>.json for diffing across commits.
+bench-json:
+	$(GO) test -bench 'EngineIngest' -benchmem . | $(GO) run ./tools/benchjson > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 clean:
 	$(GO) clean ./...

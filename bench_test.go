@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bistream"
+	"bistream/internal/checkpoint"
 	"bistream/internal/experiments"
 	"bistream/internal/tuple"
 	"bistream/internal/workload"
@@ -193,6 +194,46 @@ func benchEngineIngest(b *testing.B, pred bistream.Predicate) {
 //	go test -bench 'EngineIngestEqui(Traced)?$' -benchtime 3s
 func BenchmarkEngineIngestEquiTraced(b *testing.B) {
 	benchEngineIngestTraced(b, bistream.Equi(0, 0), 0) // 0 = default sample rate
+}
+
+// BenchmarkEngineIngestEquiCheckpointed is BenchmarkEngineIngestEqui
+// with file-backed window checkpointing at the default 250ms interval:
+// every member snapshots its window to disk on the ticker and withholds
+// broker acks until the covering checkpoint commits. Compare against
+// the plain benchmark for the durability overhead (see EXPERIMENTS.md).
+func BenchmarkEngineIngestEquiCheckpointed(b *testing.B) {
+	eng, err := bistream.New(bistream.Config{
+		Predicate:           bistream.Equi(0, 0),
+		Window:              time.Minute,
+		Routers:             2,
+		RJoiners:            2,
+		SJoiners:            2,
+		PunctuationInterval: 5 * time.Millisecond,
+		OnResult:            func(bistream.JoinResult) {},
+		TraceSample:         -1,
+		Checkpoint:          checkpoint.FileProvider{Dir: b.TempDir()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := tuple.R
+		if i%2 == 1 {
+			rel = tuple.S
+		}
+		if err := eng.Ingest(bistream.NewTuple(rel, uint64(i+1), int64(i), bistream.Int(int64(i%100_000)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Quiesce(2 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func benchEngineIngestTraced(b *testing.B, pred bistream.Predicate, traceSample int) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"bistream/internal/checkpoint"
 	"bistream/internal/joiner"
 	"bistream/internal/metrics"
 	"bistream/internal/obs"
@@ -39,6 +40,8 @@ func main() {
 		statsEvery  = flag.Duration("stats", 10*time.Second, "stats logging period (0 = off)")
 		metricsAddr = flag.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N tuples through the stage histograms (0 = default, <0 = off)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for checkpointed window state (empty = no durability; a cold restart loses the window)")
+		ckptEvery   = flag.Duration("checkpoint-interval", 0, "checkpoint period (0 = default 250ms; only with -checkpoint-dir)")
 	)
 	flag.Parse()
 	log.SetPrefix("joinerd: ")
@@ -102,6 +105,28 @@ func main() {
 		log.Fatal(err)
 	}
 	svc := joiner.NewService(core, client)
+	if *ckptDir != "" {
+		store, err := (checkpoint.FileProvider{Dir: *ckptDir}).StoreFor(rel, int32(*id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck := checkpoint.New(checkpoint.Config{
+			Store:   store,
+			Metrics: reg,
+			Prefix:  core.MetricsPrefix(),
+		})
+		recovered, err := svc.EnableCheckpointing(ck, *ckptEvery)
+		if err != nil {
+			// Durable state exists but no epoch is intact: starting blind
+			// would silently drop acked tuples. Operator intervention
+			// (restore the directory or wipe it deliberately) is required.
+			log.Fatalf("checkpoint recovery: %v", err)
+		}
+		if recovered {
+			st := svc.Stats()
+			log.Printf("recovered checkpoint epoch %d: window=%d tuples", ck.Epoch(), st.WindowLen)
+		}
+	}
 	for _, part := range strings.Split(*routers, ",") {
 		rid, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {

@@ -30,6 +30,7 @@ func main() {
 		zipf       = flag.Float64("zipf", 0, "zipf skew exponent (>1 enables skew; 0 = uniform)")
 		payload    = flag.Int("payload", 64, "opaque payload bytes per tuple")
 		seed       = flag.Int64("seed", 1, "rng seed")
+		seqStart   = flag.Uint64("seq-start", 0, "first seq to emit minus one; restarted sources must continue past the prior run or dedup suppresses the overlap")
 	)
 	flag.Parse()
 	log.SetPrefix("streamgen: ")
@@ -47,6 +48,7 @@ func main() {
 		Keys:         keyDist,
 		PayloadBytes: *payload,
 		Seed:         *seed,
+		SeqStart:     *seqStart,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,311 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"bistream/internal/metrics"
+)
+
+// Config parameterizes a Checkpointer.
+type Config struct {
+	// Store holds the blobs. Required.
+	Store Store
+	// Metrics receives the checkpoint counters; nil uses a private
+	// registry.
+	Metrics *metrics.Registry
+	// Prefix namespaces the metric names, typically the owning joiner's
+	// prefix ("joiner_R0_").
+	Prefix string
+}
+
+// Checkpointer writes a member's snapshots to a Store incrementally and
+// recovers the newest intact one. It is not safe for concurrent use;
+// the joiner service serializes Save calls on its checkpoint loop.
+type Checkpointer struct {
+	store Store
+	epoch uint64
+	// written records sealed segment blobs already durable in the store
+	// (by segment ID), so Save skips re-serializing them — the property
+	// that makes checkpoint cost proportional to the live segment, not
+	// the window.
+	written map[uint64]segRef
+	// prevKeys holds the previous committed manifest's blob keys. GC
+	// keeps them so a crash mid-round can still recover the previous
+	// epoch in full.
+	prevKeys map[string]struct{}
+
+	saves       *metrics.Counter
+	saveErrors  *metrics.Counter
+	segsWritten *metrics.Counter
+	segsSkipped *metrics.Counter
+	bytes       *metrics.Counter
+	gcDeleted   *metrics.Counter
+	recoveries  *metrics.Counter
+	fallbacks   *metrics.Counter
+	recovered   *metrics.Counter
+}
+
+// New builds a Checkpointer over cfg.Store. Call Recover before the
+// first Save when resuming an existing store, so the epoch sequence and
+// the written-segment ledger continue instead of restarting.
+func New(cfg Config) *Checkpointer {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	p := cfg.Prefix
+	return &Checkpointer{
+		store:       cfg.Store,
+		written:     make(map[uint64]segRef),
+		prevKeys:    make(map[string]struct{}),
+		saves:       reg.Counter(p + "checkpoint_saves"),
+		saveErrors:  reg.Counter(p + "checkpoint_save_errors"),
+		segsWritten: reg.Counter(p + "checkpoint_segments_written"),
+		segsSkipped: reg.Counter(p + "checkpoint_segments_skipped"),
+		bytes:       reg.Counter(p + "checkpoint_bytes_written"),
+		gcDeleted:   reg.Counter(p + "checkpoint_gc_deleted"),
+		recoveries:  reg.Counter(p + "checkpoint_recoveries"),
+		fallbacks:   reg.Counter(p + "checkpoint_recover_fallbacks"),
+		recovered:   reg.Counter(p + "checkpoint_recovered_tuples"),
+	}
+}
+
+// Epoch returns the last committed checkpoint epoch (0 before any).
+func (c *Checkpointer) Epoch() uint64 { return c.epoch }
+
+func manifestKey(epoch uint64) string { return fmt.Sprintf("manifest-%016x", epoch) }
+func sealedKey(id uint64) string      { return fmt.Sprintf("seg-%016x", id) }
+
+// liveKey is epoch-qualified: the live segment is rewritten every
+// round, and writing epoch N's copy under a fresh key means a torn
+// write can never damage the blob epoch N-1's manifest references.
+func liveKey(epoch uint64) string { return fmt.Sprintf("live-%016x", epoch) }
+
+// Save commits snapshot s as the next epoch: sealed segments not yet in
+// the store are written (already-durable ones are skipped), the live
+// segment is written under an epoch-qualified key, and finally the
+// manifest — the commit point — is installed. On any error the store is
+// left with the previous epoch intact and recoverable. After a
+// successful commit, blobs referenced by neither the new manifest nor
+// the previous one are garbage-collected (expired sealed segments drop
+// here, mirroring the chained index's whole-segment expiry).
+func (c *Checkpointer) Save(s *Snapshot) error {
+	epoch := c.epoch + 1
+	m := &manifest{
+		Rel:       s.Rel,
+		JoinerID:  s.JoinerID,
+		Epoch:     epoch,
+		Frontiers: s.Frontiers,
+		Pending:   s.Pending,
+		Dedup:     s.Dedup,
+		Retry:     s.Retry,
+	}
+	for _, seg := range s.Segments {
+		if seg.Sealed {
+			if ref, ok := c.written[seg.ID]; ok {
+				c.segsSkipped.Inc()
+				m.Refs = append(m.Refs, ref)
+				continue
+			}
+		}
+		key := liveKey(epoch)
+		if seg.Sealed {
+			key = sealedKey(seg.ID)
+		}
+		blob := encodeSegment(seg)
+		if err := c.store.Put(key, blob); err != nil {
+			c.saveErrors.Inc()
+			return fmt.Errorf("checkpoint: segment %s: %w", key, err)
+		}
+		ref := segRef{
+			Key:    key,
+			ID:     seg.ID,
+			Sealed: seg.Sealed,
+			CRC:    blobCRC(blob),
+			Len:    uint32(len(blob)),
+		}
+		c.segsWritten.Inc()
+		c.bytes.Add(int64(len(blob)))
+		if seg.Sealed {
+			c.written[seg.ID] = ref
+		}
+		m.Refs = append(m.Refs, ref)
+	}
+	blob := encodeManifest(m)
+	if err := c.store.Put(manifestKey(epoch), blob); err != nil {
+		c.saveErrors.Inc()
+		return fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	c.bytes.Add(int64(len(blob)))
+	c.epoch = epoch
+	s.Epoch = epoch
+	c.saves.Inc()
+	c.gc(m)
+	return nil
+}
+
+// gc deletes blobs no longer referenced by the current or previous
+// manifest. Deletion failures are harmless (stale blobs are ignored at
+// recovery), so errors are swallowed; only successes are counted.
+func (c *Checkpointer) gc(m *manifest) {
+	keep := map[string]struct{}{
+		manifestKey(m.Epoch): {},
+	}
+	if m.Epoch > 1 {
+		keep[manifestKey(m.Epoch-1)] = struct{}{}
+	}
+	for _, ref := range m.Refs {
+		keep[ref.Key] = struct{}{}
+	}
+	for k := range c.prevKeys {
+		keep[k] = struct{}{}
+	}
+	keys, err := c.store.List()
+	if err == nil {
+		for _, k := range keys {
+			if _, ok := keep[k]; ok {
+				continue
+			}
+			if !strings.HasPrefix(k, "seg-") && !strings.HasPrefix(k, "live-") &&
+				!strings.HasPrefix(k, "manifest-") {
+				continue // not ours
+			}
+			if c.store.Delete(k) == nil {
+				c.gcDeleted.Inc()
+			}
+		}
+	}
+	// Trim the ledgers to what this round still references.
+	c.prevKeys = make(map[string]struct{}, len(m.Refs))
+	live := make(map[uint64]segRef, len(m.Refs))
+	for _, ref := range m.Refs {
+		c.prevKeys[ref.Key] = struct{}{}
+		if ref.Sealed {
+			live[ref.ID] = ref
+		}
+	}
+	c.written = live
+}
+
+// Recover loads the newest intact checkpoint: manifests are tried
+// newest-first, and one is accepted only if it and every segment blob
+// it references decode cleanly with matching CRC, length, identity and
+// sealed flag. A torn or corrupt newest epoch falls back to the
+// previous one — which is safe precisely because the service never acks
+// a delivery before the checkpoint covering it commits. Returns
+// (nil, nil) on a store with no manifests (fresh member).
+//
+// When manifests exist but none is intact, the outcome depends on what
+// the wreckage proves. Committed blobs are never rewritten (manifest
+// and live keys are epoch-qualified, sealed segments write once), so a
+// commit of epoch N leaves manifest-N intact forever; by induction the
+// highest committed epoch always has an intact manifest. All-torn with
+// only epoch 1 present therefore proves no checkpoint ever committed —
+// and since acks wait for commits, nothing was ever acknowledged under
+// checkpoint coverage: a fresh start loses nothing, so Recover returns
+// (nil, nil) and counts a fallback. All-torn with higher epochs can
+// only mean the store violated its durability contract (committed
+// state rotted or was rewritten); that is unrecoverable-loudly — the
+// member must not restart blind over acked state.
+func (c *Checkpointer) Recover() (*Snapshot, error) {
+	keys, err := c.store.List()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list: %w", err)
+	}
+	var epochs []uint64
+	for _, k := range keys {
+		var e uint64
+		if _, err := fmt.Sscanf(k, "manifest-%x", &e); err == nil && strings.HasPrefix(k, "manifest-") {
+			epochs = append(epochs, e)
+		}
+	}
+	if len(epochs) == 0 {
+		return nil, nil
+	}
+	// Newest first.
+	for i := 0; i < len(epochs); i++ {
+		for j := i + 1; j < len(epochs); j++ {
+			if epochs[j] > epochs[i] {
+				epochs[i], epochs[j] = epochs[j], epochs[i]
+			}
+		}
+	}
+	var lastErr error
+	for _, epoch := range epochs {
+		snap, m, err := c.tryRecover(epoch)
+		if err != nil {
+			lastErr = err
+			c.fallbacks.Inc()
+			continue
+		}
+		c.epoch = m.Epoch
+		c.written = make(map[uint64]segRef)
+		c.prevKeys = make(map[string]struct{}, len(m.Refs))
+		for _, ref := range m.Refs {
+			c.prevKeys[ref.Key] = struct{}{}
+			if ref.Sealed {
+				c.written[ref.ID] = ref
+			}
+		}
+		c.recoveries.Inc()
+		c.recovered.Add(int64(snap.Tuples()))
+		return snap, nil
+	}
+	if epochs[0] <= 1 {
+		// Only first-round wreckage: no epoch ever committed, so no
+		// delivery was ever acked under checkpoint coverage. Starting
+		// fresh is lossless; the broker redelivers everything.
+		return nil, nil
+	}
+	return nil, fmt.Errorf("checkpoint: %d manifest(s) present, none intact: %w", len(epochs), lastErr)
+}
+
+// tryRecover loads and fully validates one epoch.
+func (c *Checkpointer) tryRecover(epoch uint64) (*Snapshot, *manifest, error) {
+	blob, err := c.store.Get(manifestKey(epoch))
+	if err != nil {
+		return nil, nil, fmt.Errorf("epoch %d: %w", epoch, err)
+	}
+	m, err := decodeManifest(blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("epoch %d: %w", epoch, err)
+	}
+	if m.Epoch != epoch {
+		return nil, nil, fmt.Errorf("epoch %d: %w: manifest claims epoch %d", epoch, ErrCorrupt, m.Epoch)
+	}
+	snap := &Snapshot{
+		Rel:       m.Rel,
+		JoinerID:  m.JoinerID,
+		Epoch:     m.Epoch,
+		Frontiers: m.Frontiers,
+		Pending:   m.Pending,
+		Dedup:     m.Dedup,
+		Retry:     m.Retry,
+	}
+	for _, ref := range m.Refs {
+		sb, err := c.store.Get(ref.Key)
+		if err != nil {
+			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w", epoch, ref.Key, err)
+		}
+		if uint32(len(sb)) != ref.Len || blobCRC(sb) != ref.CRC {
+			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w: crc/len mismatch", epoch, ref.Key, ErrCorrupt)
+		}
+		seg, err := decodeSegment(sb)
+		if err != nil {
+			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w", epoch, ref.Key, err)
+		}
+		if seg.ID != ref.ID || seg.Sealed != ref.Sealed {
+			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w: identity mismatch", epoch, ref.Key, ErrCorrupt)
+		}
+		snap.Segments = append(snap.Segments, seg)
+	}
+	return snap, m, nil
+}
+
+// blobCRC is the checksum the manifest records per segment blob: the
+// CRC-32C of the whole blob including its own trailing CRC.
+func blobCRC(blob []byte) uint32 {
+	return crc32.Checksum(blob, crcTable)
+}

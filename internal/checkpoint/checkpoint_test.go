@@ -1,0 +1,395 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bistream/internal/dedup"
+	"bistream/internal/index"
+	"bistream/internal/protocol"
+	"bistream/internal/tuple"
+)
+
+func mkTuple(rel tuple.Relation, seq uint64, ts int64, key int64) *tuple.Tuple {
+	return &tuple.Tuple{Rel: rel, Seq: seq, TS: ts, Values: []tuple.Value{tuple.Int(key), tuple.String(fmt.Sprintf("v%d", seq))}}
+}
+
+func mkSnapshot() *Snapshot {
+	return &Snapshot{
+		Rel:      tuple.R,
+		JoinerID: 3,
+		Segments: []index.Segment{
+			{ID: 1, Sealed: true, MinTS: 10, MaxTS: 20, Tuples: []*tuple.Tuple{
+				mkTuple(tuple.R, 1, 10, 7), mkTuple(tuple.R, 2, 20, 9),
+			}},
+			{ID: 2, Sealed: false, MinTS: 30, MaxTS: 30, Tuples: []*tuple.Tuple{
+				mkTuple(tuple.R, 3, 30, 7),
+			}},
+		},
+		Frontiers: []protocol.Frontier{
+			{Router: 0, Source: protocol.SourceStore, Counter: 42},
+			{Router: 1, Source: protocol.SourceJoin, Counter: 17},
+		},
+		Pending: []protocol.Envelope{
+			{Kind: protocol.KindTuple, RouterID: 1, Counter: 18, Stream: protocol.StreamStore, Tuple: mkTuple(tuple.R, 4, 40, 5)},
+		},
+		Dedup: dedup.State{Cap: 64, Suppressed: 2, Cur: []dedup.Key{{0, 1}, {0, 2}}, Prev: []dedup.Key{{0, 9}}},
+		Retry: [][]byte{{0xde, 0xad}, {0xbe, 0xef, 0x01}},
+	}
+}
+
+func sameSnapshot(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Rel != want.Rel || got.JoinerID != want.JoinerID {
+		t.Fatalf("identity mismatch: got %v/%d want %v/%d", got.Rel, got.JoinerID, want.Rel, want.JoinerID)
+	}
+	if len(got.Segments) != len(want.Segments) {
+		t.Fatalf("segments: got %d want %d", len(got.Segments), len(want.Segments))
+	}
+	for i, ws := range want.Segments {
+		gs := got.Segments[i]
+		if gs.ID != ws.ID || gs.Sealed != ws.Sealed || gs.MinTS != ws.MinTS || gs.MaxTS != ws.MaxTS {
+			t.Fatalf("segment %d meta mismatch: got %+v want %+v", i, gs, ws)
+		}
+		if len(gs.Tuples) != len(ws.Tuples) {
+			t.Fatalf("segment %d: got %d tuples want %d", i, len(gs.Tuples), len(ws.Tuples))
+		}
+		for j := range ws.Tuples {
+			if string(tuple.Marshal(gs.Tuples[j])) != string(tuple.Marshal(ws.Tuples[j])) {
+				t.Fatalf("segment %d tuple %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.Frontiers) != len(want.Frontiers) {
+		t.Fatalf("frontiers: got %d want %d", len(got.Frontiers), len(want.Frontiers))
+	}
+	for i := range want.Frontiers {
+		if got.Frontiers[i] != want.Frontiers[i] {
+			t.Fatalf("frontier %d: got %+v want %+v", i, got.Frontiers[i], want.Frontiers[i])
+		}
+	}
+	if len(got.Pending) != len(want.Pending) {
+		t.Fatalf("pending: got %d want %d", len(got.Pending), len(want.Pending))
+	}
+	for i := range want.Pending {
+		if string(got.Pending[i].Marshal()) != string(want.Pending[i].Marshal()) {
+			t.Fatalf("pending %d mismatch", i)
+		}
+	}
+	if got.Dedup.Cap != want.Dedup.Cap || got.Dedup.Suppressed != want.Dedup.Suppressed ||
+		len(got.Dedup.Cur) != len(want.Dedup.Cur) || len(got.Dedup.Prev) != len(want.Dedup.Prev) {
+		t.Fatalf("dedup state mismatch: got %+v want %+v", got.Dedup, want.Dedup)
+	}
+	if len(got.Retry) != len(want.Retry) {
+		t.Fatalf("retry: got %d want %d", len(got.Retry), len(want.Retry))
+	}
+	for i := range want.Retry {
+		if string(got.Retry[i]) != string(want.Retry[i]) {
+			t.Fatalf("retry %d mismatch", i)
+		}
+	}
+}
+
+func TestSaveRecoverRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		store func(t *testing.T) Store
+	}{
+		{"mem", func(t *testing.T) Store { return NewMemStore() }},
+		{"file", func(t *testing.T) Store {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.store(t)
+			c := New(Config{Store: st})
+			want := mkSnapshot()
+			if err := c.Save(want); err != nil {
+				t.Fatal(err)
+			}
+			if c.Epoch() != 1 {
+				t.Fatalf("epoch = %d, want 1", c.Epoch())
+			}
+			r := New(Config{Store: st})
+			got, err := r.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == nil {
+				t.Fatal("Recover returned nil on populated store")
+			}
+			sameSnapshot(t, got, want)
+			if got.Epoch != 1 || r.Epoch() != 1 {
+				t.Fatalf("recovered epoch %d / checkpointer epoch %d, want 1", got.Epoch, r.Epoch())
+			}
+		})
+	}
+}
+
+func TestRecoverEmptyStore(t *testing.T) {
+	c := New(Config{Store: NewMemStore()})
+	snap, err := c.Recover()
+	if err != nil || snap != nil {
+		t.Fatalf("Recover on empty store = (%v, %v), want (nil, nil)", snap, err)
+	}
+}
+
+// TestIncrementalSave verifies sealed segments are written once: the
+// second Save of an unchanged sealed segment must hit the skip path.
+func TestIncrementalSave(t *testing.T) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	s := mkSnapshot()
+	if err := c.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 writes sealed seg 1 + live; round 2 skips sealed seg 1.
+	if got := counterVal(t, c.segsSkipped); got != 1 {
+		t.Fatalf("segments_skipped = %d, want 1", got)
+	}
+	if got := counterVal(t, c.segsWritten); got != 3 {
+		t.Fatalf("segments_written = %d, want 3 (seg1, live@1, live@2)", got)
+	}
+}
+
+func counterVal(t *testing.T, c interface{ Value() int64 }) int64 {
+	t.Helper()
+	return c.Value()
+}
+
+// TestGCDropsExpiredSegments verifies that once a sealed segment leaves
+// the snapshot (whole-segment expiry) its blob is collected after the
+// retention round (current ∪ previous manifests) passes.
+func TestGCDropsExpiredSegments(t *testing.T) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	s := mkSnapshot()
+	if err := c.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1 expires; only the live segment remains.
+	expired := &Snapshot{
+		Rel: s.Rel, JoinerID: s.JoinerID,
+		Segments: s.Segments[1:],
+		Dedup:    s.Dedup,
+	}
+	if err := c.Save(expired); err != nil {
+		t.Fatal(err)
+	}
+	// seg-1 still retained: epoch 1's manifest may be the fallback.
+	if _, err := st.Get(sealedKey(1)); err != nil {
+		t.Fatalf("seg-1 collected one round early: %v", err)
+	}
+	if err := c.Save(expired); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(sealedKey(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("seg-1 not collected after retention round: %v", err)
+	}
+	// Both surviving manifests must still recover.
+	r := New(Config{Store: st})
+	snap, err := r.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 3 || len(snap.Segments) != 1 {
+		t.Fatalf("recovered epoch %d with %d segments, want epoch 3 with 1", snap.Epoch, len(snap.Segments))
+	}
+}
+
+// TestRecoverFallsBackPastTornManifest simulates a torn write of the
+// newest manifest: recovery must reject it by CRC and land on the
+// previous epoch.
+func TestRecoverFallsBackPastTornManifest(t *testing.T) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	first := mkSnapshot()
+	if err := c.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	second := mkSnapshot()
+	second.Segments[1].Tuples = append(second.Segments[1].Tuples, mkTuple(tuple.R, 9, 50, 3))
+	if err := c.Save(second); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest manifest: keep a prefix only.
+	blob, err := st.Get(manifestKey(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(manifestKey(2), blob[:len(blob)/2]); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Store: st})
+	got, err := r.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 {
+		t.Fatalf("recovered epoch %d, want fallback to 1", got.Epoch)
+	}
+	sameSnapshot(t, got, first)
+	if counterVal(t, r.fallbacks) == 0 {
+		t.Fatal("fallback not counted")
+	}
+	// A fresh Save must continue the epoch sequence past the torn one.
+	if err := r.Save(second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("post-fallback epoch = %d, want 2", r.Epoch())
+	}
+}
+
+// TestRecoverFallsBackPastTornSegment tears a segment blob instead of
+// the manifest: the manifest decodes fine but its CRC table must
+// condemn the segment.
+func TestRecoverFallsBackPastTornSegment(t *testing.T) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	first := mkSnapshot()
+	if err := c.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(mkSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt epoch 2's live segment (flip a byte, keep the length).
+	key := liveKey(2)
+	blob, err := st.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := st.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Store: st})
+	got, err := r.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 {
+		t.Fatalf("recovered epoch %d, want fallback to 1", got.Epoch)
+	}
+}
+
+// TestRecoverAllTornFailsLoud: when committed epochs existed (epoch >
+// 1 manifests present) and none is intact, Recover must return an error
+// rather than pretend the member is fresh — acked state is gone.
+func TestRecoverAllTornFailsLoud(t *testing.T) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	if err := c.Save(mkSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(mkSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []uint64{1, 2} {
+		blob, err := st.Get(manifestKey(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(manifestKey(epoch), blob[:3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := New(Config{Store: st})
+	if _, err := r.Recover(); err == nil {
+		t.Fatal("Recover succeeded with only torn manifests over committed epochs")
+	}
+}
+
+// TestRecoverTornFirstEpochStartsFresh: a store holding only a torn
+// epoch-1 manifest proves no checkpoint ever committed — and therefore
+// nothing was ever acked under checkpoint coverage — so Recover treats
+// the member as fresh instead of refusing to start.
+func TestRecoverTornFirstEpochStartsFresh(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Put(manifestKey(1), []byte("BMF1 torn mid-write")); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Store: st})
+	snap, err := r.Recover()
+	if err != nil || snap != nil {
+		t.Fatalf("Recover = (%v, %v), want fresh (nil, nil)", snap, err)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0 (nothing committed)", r.Epoch())
+	}
+	// The next Save must overwrite the torn first epoch cleanly.
+	if err := r.Save(mkSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(Config{Store: st})
+	if snap, err := r2.Recover(); err != nil || snap == nil || snap.Epoch != 1 {
+		t.Fatalf("post-overwrite Recover = (%v, %v), want epoch-1 snapshot", snap, err)
+	}
+}
+
+func TestCodecRejectsMutations(t *testing.T) {
+	seg := mkSnapshot().Segments[0]
+	blob := encodeSegment(seg)
+	for i := 0; i < len(blob); i++ {
+		mutated := append([]byte(nil), blob...)
+		mutated[i] ^= 0x01
+		if _, err := decodeSegment(mutated); err == nil {
+			t.Fatalf("decodeSegment accepted blob with byte %d flipped", i)
+		}
+	}
+	m := &manifest{Rel: tuple.S, JoinerID: 1, Epoch: 7, Dedup: dedup.State{Cap: 8}}
+	mb := encodeManifest(m)
+	for i := 0; i < len(mb); i++ {
+		mutated := append([]byte(nil), mb...)
+		mutated[i] ^= 0x01
+		if _, err := decodeManifest(mutated); err == nil {
+			t.Fatalf("decodeManifest accepted blob with byte %d flipped", i)
+		}
+	}
+}
+
+func FuzzDecodeSegment(f *testing.F) {
+	f.Add(encodeSegment(mkSnapshot().Segments[0]))
+	f.Add(encodeSegment(index.Segment{ID: 5, Sealed: false}))
+	f.Add([]byte("BSG1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := decodeSegment(data)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to an equally valid blob.
+		if _, err := decodeSegment(encodeSegment(seg)); err != nil {
+			t.Fatalf("re-encode of valid segment failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeManifest(f *testing.F) {
+	st := NewMemStore()
+	c := New(Config{Store: st})
+	if err := c.Save(mkSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	if blob, err := st.Get(manifestKey(1)); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte("BMF1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		if _, err := decodeManifest(encodeManifest(m)); err != nil {
+			t.Fatalf("re-encode of valid manifest failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package checkpoint makes joiner window state durable: it serializes
+// a joiner core's chained-index contents per archived sub-index
+// segment — sealed segments are written once and garbage-collected on
+// expiry, only the live segment is rewritten each round — together
+// with a manifest carrying the ordering-protocol frontiers, the dedup
+// generation watermark and the unpublished-result backlog, so a
+// cold-restarted joiner (fresh process, empty memory) recovers its
+// window and neither duplicates nor re-misses redelivered tuples.
+//
+// The durability contract is ack-gated: the joiner service withholds
+// broker acknowledgments until the state a delivery mutated has been
+// committed by a checkpoint. Everything after the last committed
+// checkpoint is therefore still unacked at a crash and redelivered by
+// the broker; everything before it is in the checkpoint. Replayed
+// deliveries that were already checkpointed are suppressed by the
+// restored dedup filter, and replayed results are suppressed by the
+// sink's result-pair filter — exactly-once survives the cold restart.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"bistream/internal/tuple"
+)
+
+// ErrNotFound reports a missing blob. Test with errors.Is.
+var ErrNotFound = errors.New("checkpoint: not found")
+
+// Store is the pluggable durable blob store checkpoints live in. Keys
+// are short, filename-safe strings assigned by the Checkpointer
+// ("manifest-…", "seg-…", "live-…"). Put must atomically replace: a
+// reader never observes a half-written blob under a committed key
+// (torn writes surface either as a Put error or as a corrupt blob the
+// manifest CRCs catch at recovery).
+type Store interface {
+	Put(key string, blob []byte) error
+	// Get returns the blob under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes key; deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns every stored key, in no particular order.
+	List() ([]string, error)
+}
+
+// MemStore is an in-process Store, the moral equivalent of a ramdisk:
+// it survives a joiner's cold restart (fresh Core, same process) but
+// not the process's. Tests use it to isolate restart semantics from
+// filesystem behavior. Safe for concurrent use.
+type MemStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(key string, blob []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, key)
+	return nil
+}
+
+// List implements Store.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.blobs))
+	for k := range m.blobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the number of stored blobs (tests).
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}
+
+// FileStore keeps each blob in one file under a directory, installing
+// writes by write-to-temp, fsync, rename — so a committed key is never
+// half-written even across a power loss (the torn bytes stay in the
+// temp file, which List ignores and Put overwrites).
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if needed) dir and returns a store over it.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") || strings.HasPrefix(key, ".") {
+		return "", fmt.Errorf("checkpoint: bad key %q", key)
+	}
+	return filepath.Join(f.dir, key+".ckpt"), nil
+}
+
+// Put implements Store with an atomic replace.
+func (f *FileStore) Put(key string, blob []byte) error {
+	path, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(f.dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (f *FileStore) Get(key string) ([]byte, error) {
+	path, err := f.path(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return b, err
+}
+
+// Delete implements Store.
+func (f *FileStore) Delete(key string) error {
+	path, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store, skipping in-flight temp files.
+func (f *FileStore) List() ([]string, error) {
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".ckpt"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Provider hands each joiner member its own Store: checkpoints are
+// per-member state, keyed like the member's durable queues.
+type Provider interface {
+	StoreFor(rel tuple.Relation, id int32) (Store, error)
+}
+
+// MemProvider keeps one MemStore per member, retained across cold
+// restarts of the member within the process (the property the
+// cold-crash chaos tests rely on).
+type MemProvider struct {
+	mu     sync.Mutex
+	stores map[string]*MemStore
+}
+
+// NewMemProvider creates an empty provider.
+func NewMemProvider() *MemProvider {
+	return &MemProvider{stores: make(map[string]*MemStore)}
+}
+
+// StoreFor implements Provider, returning the member's existing store
+// if it has one.
+func (p *MemProvider) StoreFor(rel tuple.Relation, id int32) (Store, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := fmt.Sprintf("%s-%d", rel, id)
+	s, ok := p.stores[k]
+	if !ok {
+		s = NewMemStore()
+		p.stores[k] = s
+	}
+	return s, nil
+}
+
+// FileProvider lays members out as subdirectories of Dir ("R-0", "S-1",
+// …), the disk layout cmd/joinerd's -checkpoint-dir flag uses.
+type FileProvider struct {
+	Dir string
+}
+
+// StoreFor implements Provider.
+func (p FileProvider) StoreFor(rel tuple.Relation, id int32) (Store, error) {
+	return NewFileStore(filepath.Join(p.Dir, fmt.Sprintf("%s-%d", rel, id)))
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/checkpoint"
 	"bistream/internal/dedup"
 	"bistream/internal/index"
 	"bistream/internal/joiner"
@@ -101,6 +102,22 @@ type Config struct {
 	// Ingest blocks — or IngestContext cancels — once that many raw
 	// tuples are unrouted. Zero leaves the entry queue unbounded.
 	EntryBound int
+	// Checkpoint, when non-nil, enables checkpointed joiners: each
+	// member checkpoints its window, ordering and dedup state to its own
+	// store from this provider, defers broker acks to checkpoint commits,
+	// and recovers that state on ColdCrashJoiner. Nil runs the engine
+	// with in-memory joiner state only (warm restarts keep state, cold
+	// restarts lose the window).
+	Checkpoint checkpoint.Provider
+	// CheckpointInterval paces each joiner's checkpoint rounds; zero
+	// uses the joiner service default. Shorter intervals tighten the
+	// redelivery burst after a cold crash at the cost of more store
+	// writes (only the live segment is rewritten per round).
+	CheckpointInterval time.Duration
+	// Restart governs supervised service restarts (CrashJoiner,
+	// ColdCrashJoiner, CrashRouter, the Supervisor). Zero-value fields
+	// take the DefaultRetryPolicy defaults.
+	Restart RetryPolicy
 }
 
 func (c *Config) applyDefaults() error {
@@ -402,6 +419,31 @@ func (e *Engine) Start() error {
 func (e *Engine) addJoinerLocked(rel tuple.Relation) (*joiner.Service, error) {
 	id := e.nextJid[rel]
 	e.nextJid[rel]++
+	svc, err := e.buildJoinerLocked(rel, id)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	for _, r := range e.routers {
+		svc.AddRouter(r.ID())
+	}
+	if rel == tuple.R {
+		e.rJoiners = append(e.rJoiners, svc)
+	} else {
+		e.sJoiners = append(e.sJoiners, svc)
+	}
+	return svc, nil
+}
+
+// buildJoinerLocked constructs (but does not start) a joiner member with
+// an explicit id — the shared path of scale-out (fresh ids) and cold
+// restart (reusing a crashed member's id, so the service re-attaches to
+// the same durable queues, metric names and checkpoint store). When the
+// engine is configured with a checkpoint provider the member recovers
+// whatever intact checkpoint its store holds before it starts consuming.
+func (e *Engine) buildJoinerLocked(rel tuple.Relation, id int32) (*joiner.Service, error) {
 	core, err := joiner.NewCore(joiner.Config{
 		ID:            id,
 		Rel:           rel,
@@ -418,16 +460,19 @@ func (e *Engine) addJoinerLocked(rel tuple.Relation) (*joiner.Service, error) {
 		return nil, err
 	}
 	svc := joiner.NewService(core, e.client)
-	if err := svc.Start(); err != nil {
-		return nil, err
-	}
-	for _, r := range e.routers {
-		svc.AddRouter(r.ID())
-	}
-	if rel == tuple.R {
-		e.rJoiners = append(e.rJoiners, svc)
-	} else {
-		e.sJoiners = append(e.sJoiners, svc)
+	if e.cfg.Checkpoint != nil {
+		store, err := e.cfg.Checkpoint.StoreFor(rel, id)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint store for %s-%d: %w", rel, id, err)
+		}
+		ck := checkpoint.New(checkpoint.Config{
+			Store:   store,
+			Metrics: e.reg,
+			Prefix:  core.MetricsPrefix(),
+		})
+		if _, err := svc.EnableCheckpointing(ck, e.cfg.CheckpointInterval); err != nil {
+			return nil, fmt.Errorf("core: recover %s-%d: %w", rel, id, err)
+		}
 	}
 	return svc, nil
 }
@@ -893,11 +938,17 @@ func (e *Engine) quiet() bool {
 	return emitted == resultsN
 }
 
-// CrashJoiner simulates a crash/restart of one joiner member (for fault
-// testing): the service stops without flushing — in-flight unacked
-// deliveries requeue on its durable queues — sits dead for down, and
-// restarts against the same queues. Tuples delivered but unacked at the
-// crash are redelivered and suppressed by the core's idempotency filter.
+// CrashJoiner simulates a *warm* crash/restart of one joiner member
+// (for fault testing): the service stops without flushing — in-flight
+// unacked deliveries requeue on its durable queues — sits dead for
+// down, and restarts against the same queues. Warm means the in-memory
+// core survives: the window index, ordering frontiers and dedup filter
+// carry over, modeling a process restart on the same machine (or a
+// supervisor's restart-in-place). Tuples delivered but unacked at the
+// crash are redelivered and suppressed by the core's idempotency
+// filter. Contrast ColdCrashJoiner, which models losing the machine:
+// the core is discarded and state comes back only from the checkpoint
+// store and broker redelivery.
 func (e *Engine) CrashJoiner(rel tuple.Relation, idx int, down time.Duration) error {
 	e.mu.Lock()
 	js := *e.joinersLocked(rel)
@@ -911,22 +962,68 @@ func (e *Engine) CrashJoiner(rel tuple.Relation, idx int, down time.Duration) er
 	if down > 0 {
 		time.Sleep(down)
 	}
-	return superviseStart(svc.Start)
+	return e.cfg.Restart.Run(svc.Start)
 }
 
-// superviseStart retries a service start the way a supervised daemon
-// would: the restart may race a partition or broker outage, and giving
-// up on the first failed declare would turn a transient fault into a
-// permanently missing member.
-func superviseStart(start func() error) error {
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		err := start()
-		if err == nil || time.Now().After(deadline) {
-			return err
-		}
-		time.Sleep(10 * time.Millisecond)
+// ColdCrashJoiner simulates losing a joiner's machine: the member's
+// service stops (unacked deliveries requeue on its durable queues), its
+// in-memory core — window index, ordering frontiers, dedup filter — is
+// discarded entirely, and after down a fresh member with the same id is
+// built, recovers whatever the engine's checkpoint provider holds for
+// that id, and re-attaches to the same queues. With checkpointing
+// configured the restored dedup filter and the sink's result filter
+// absorb the redelivery overlap, so the join's result multiset is
+// unchanged by the crash. Without a checkpoint provider the fresh core
+// starts empty and every already-acknowledged stored tuple is simply
+// gone — the data-loss mode the checkpoint subsystem exists to close.
+func (e *Engine) ColdCrashJoiner(rel tuple.Relation, idx int, down time.Duration) error {
+	e.mu.Lock()
+	js := *e.joinersLocked(rel)
+	if idx < 0 || idx >= len(js) {
+		e.mu.Unlock()
+		return fmt.Errorf("core: joiner %s[%d] out of range [0,%d)", rel, idx, len(js))
 	}
+	old := js[idx]
+	id := old.ID()
+	e.mu.Unlock()
+	old.Stop()
+	if down > 0 {
+		time.Sleep(down)
+	}
+	e.mu.Lock()
+	svc, err := e.buildJoinerLocked(rel, id)
+	routerIDs := make([]int32, 0, len(e.routers))
+	for _, r := range e.routers {
+		routerIDs = append(routerIDs, r.ID())
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.Restart.Run(svc.Start); err != nil {
+		return err
+	}
+	for _, rid := range routerIDs {
+		svc.AddRouter(rid)
+	}
+	// Install the replacement. The slice may have shifted while the
+	// member was down (scaling); match by identity, falling back to the
+	// original position.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.joinersLocked(rel)
+	for i, s := range *cur {
+		if s == old {
+			(*cur)[i] = svc
+			return nil
+		}
+	}
+	if idx < len(*cur) {
+		(*cur)[idx] = svc
+	} else {
+		*cur = append(*cur, svc)
+	}
+	return nil
 }
 
 // CrashRouter simulates a crash/restart of one router instance. Entry
@@ -945,7 +1042,7 @@ func (e *Engine) CrashRouter(idx int, down time.Duration) error {
 	if down > 0 {
 		time.Sleep(down)
 	}
-	return superviseStart(svc.Start)
+	return e.cfg.Restart.Run(svc.Start)
 }
 
 // Settle waits until the pipeline's observable progress counters stop

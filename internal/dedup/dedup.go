@@ -70,5 +70,46 @@ func (s *Set) SeenOrAdd(k Key) bool {
 // present.
 func (s *Set) Suppressed() int64 { return s.suppressed }
 
+// State is a serializable snapshot of the set: the generation watermark
+// a checkpoint manifest carries so a cold-restarted consumer still
+// suppresses redeliveries of work it handled before the checkpoint.
+type State struct {
+	Cap        int
+	Suppressed int64
+	Cur, Prev  []Key
+}
+
+// Export snapshots the set's retained keys and generation split. Key
+// order within a generation is unspecified.
+func (s *Set) Export() State {
+	st := State{Cap: s.cap, Suppressed: s.suppressed}
+	st.Cur = make([]Key, 0, len(s.cur))
+	for k := range s.cur {
+		st.Cur = append(st.Cur, k)
+	}
+	st.Prev = make([]Key, 0, len(s.prev))
+	for k := range s.prev {
+		st.Prev = append(st.Prev, k)
+	}
+	return st
+}
+
+// FromState rebuilds a set from an exported snapshot, preserving the
+// generation split so rotation resumes where it left off.
+func FromState(st State) *Set {
+	s := New(st.Cap)
+	s.suppressed = st.Suppressed
+	for _, k := range st.Cur {
+		s.cur[k] = struct{}{}
+	}
+	if len(st.Prev) > 0 {
+		s.prev = make(map[Key]struct{}, len(st.Prev))
+		for _, k := range st.Prev {
+			s.prev[k] = struct{}{}
+		}
+	}
+	return s
+}
+
 // Len returns the number of retained keys (both generations).
 func (s *Set) Len() int { return len(s.cur) + len(s.prev) }

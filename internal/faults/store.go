@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"bistream/internal/checkpoint"
+	"bistream/internal/metrics"
+	"bistream/internal/tuple"
+)
+
+// StoreRule sets a checkpoint store's fault probabilities, each in
+// [0, 1]. Both model a crash during the write — the error IS the power
+// loss: the writer must treat a failed Put as "state not durable" and
+// keep the covered deliveries unacked, which is exactly the joiner
+// service's checkpoint ack barrier.
+type StoreRule struct {
+	// Tear simulates power loss mid-write: a truncated prefix of the
+	// blob is persisted under the key AND the Put fails with
+	// ErrInjected. Recovery must detect the torn blob by CRC and fall
+	// back to the previous checkpoint epoch.
+	Tear float64
+	// Fail simulates power loss (or a full disk) before the write
+	// reached the medium: nothing is persisted and the Put fails with
+	// ErrInjected.
+	Fail float64
+}
+
+// Store is a fault-injecting checkpoint.Store decorator.
+type Store struct {
+	inner checkpoint.Store
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rule  StoreRule
+	off   bool
+
+	tears *metrics.Counter // faults.store_tear
+	fails *metrics.Counter // faults.store_fail
+}
+
+var _ checkpoint.Store = (*Store)(nil)
+
+// WrapStore decorates inner with seeded write-fault injection.
+func WrapStore(inner checkpoint.Store, seed int64, rule StoreRule, reg *metrics.Registry) *Store {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Store{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		rule:  rule,
+		tears: reg.Counter("faults.store_tear"),
+		fails: reg.Counter("faults.store_fail"),
+	}
+}
+
+// Disable turns injection off; the store becomes a passthrough.
+func (s *Store) Disable() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.off = true
+}
+
+// Put rolls the rule before forwarding: at most one fault per call.
+func (s *Store) Put(key string, blob []byte) error {
+	s.mu.Lock()
+	var tear, fail bool
+	var cut int
+	if !s.off {
+		switch roll := s.rng.Float64(); {
+		case roll < s.rule.Tear:
+			tear = true
+			if len(blob) > 0 {
+				cut = s.rng.Intn(len(blob))
+			}
+		case roll < s.rule.Tear+s.rule.Fail:
+			fail = true
+		}
+	}
+	s.mu.Unlock()
+	switch {
+	case tear:
+		s.tears.Inc()
+		// Persist the torn prefix, then report the crash. A later
+		// recovery sees exactly what a power loss would have left.
+		_ = s.inner.Put(key, blob[:cut])
+		return fmt.Errorf("%w: torn write of %q at %d/%d bytes", ErrInjected, key, cut, len(blob))
+	case fail:
+		s.fails.Inc()
+		return fmt.Errorf("%w: failed write of %q", ErrInjected, key)
+	}
+	return s.inner.Put(key, blob)
+}
+
+func (s *Store) Get(key string) ([]byte, error) { return s.inner.Get(key) }
+func (s *Store) Delete(key string) error        { return s.inner.Delete(key) }
+func (s *Store) List() ([]string, error)        { return s.inner.List() }
+
+// StoreProvider decorates a checkpoint.Provider so every member's store
+// injects write faults. Each member keeps its own deterministic rng
+// (seeded from Seed plus its identity) and its wrapper survives cold
+// restarts of the member, like the underlying store does.
+type StoreProvider struct {
+	Inner checkpoint.Provider
+	Seed  int64
+	Rule  StoreRule
+	// Metrics receives the faults.store_* counters; nil uses a private
+	// registry.
+	Metrics *metrics.Registry
+
+	mu     sync.Mutex
+	stores map[string]*Store
+}
+
+var _ checkpoint.Provider = (*StoreProvider)(nil)
+
+// StoreFor implements checkpoint.Provider.
+func (p *StoreProvider) StoreFor(rel tuple.Relation, id int32) (checkpoint.Store, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := fmt.Sprintf("%s-%d", rel, id)
+	if s, ok := p.stores[key]; ok {
+		return s, nil
+	}
+	inner, err := p.Inner.StoreFor(rel, id)
+	if err != nil {
+		return nil, err
+	}
+	if p.stores == nil {
+		p.stores = make(map[string]*Store)
+	}
+	s := WrapStore(inner, p.Seed^int64(id)<<1^int64(rel), p.Rule, p.Metrics)
+	p.stores[key] = s
+	return s, nil
+}
+
+// Disable turns injection off on every store created so far.
+func (p *StoreProvider) Disable() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.stores {
+		s.Disable()
+	}
+}

@@ -203,6 +203,19 @@ func (n *bInner) insert(key tuple.Value, t *tuple.Tuple) (tuple.Value, bNode) {
 	return upSep, rightInner
 }
 
+// Export implements SubIndex: key-order walk along the leaf chain.
+func (b *BTree) Export(emit func(*tuple.Tuple) bool) {
+	for leaf := b.firstLeaf(); leaf != nil; leaf = leaf.next {
+		for _, vals := range leaf.vals {
+			for _, t := range vals {
+				if !emit(t) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Len implements SubIndex.
 func (b *BTree) Len() int { return b.length }
 

@@ -95,6 +95,16 @@ func (f *Flat) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
 	}
 }
 
+// Export calls emit for every live tuple in arrival order (checkpoint
+// export; Flat is not a SubIndex but round-trips the same way).
+func (f *Flat) Export(emit func(*tuple.Tuple) bool) {
+	for _, t := range f.fifo[f.head:] {
+		if !emit(t) {
+			return
+		}
+	}
+}
+
 // Len returns the number of live tuples.
 func (f *Flat) Len() int { return len(f.fifo) - f.head }
 

@@ -57,6 +57,15 @@ func (h *Hash) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
 	}
 }
 
+// Export implements SubIndex: insertion-order walk of every tuple.
+func (h *Hash) Export(emit func(*tuple.Tuple) bool) {
+	for _, t := range h.all {
+		if !emit(t) {
+			return
+		}
+	}
+}
+
 // Len implements SubIndex.
 func (h *Hash) Len() int { return len(h.all) }
 

@@ -23,6 +23,10 @@ type SubIndex interface {
 	// Candidates are over-approximate; the caller verifies with the
 	// predicate. Iteration stops early if emit returns false.
 	Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool)
+	// Export calls emit for every stored tuple exactly once, in an
+	// implementation-defined order (checkpoint export). Iteration
+	// stops early if emit returns false.
+	Export(emit func(*tuple.Tuple) bool)
 	// Len returns the number of stored tuples.
 	Len() int
 	// MemBytes estimates resident memory including index overhead.
@@ -80,6 +84,7 @@ type Chained struct {
 
 	active   *chainedSub
 	archived []*chainedSub // oldest first
+	nextID   uint64        // next segment id to assign
 
 	totalLen int
 	memBytes int64
@@ -88,13 +93,19 @@ type Chained struct {
 }
 
 type chainedSub struct {
+	// id is the sub-index's stable segment identity, assigned once at
+	// construction and monotonically increasing along the chain. The
+	// checkpoint layer keys incremental segment writes on it: a sealed
+	// (archived) sub-index never changes, so a checkpoint that already
+	// wrote segment id N can skip it forever after.
+	id           uint64
 	sub          SubIndex
 	minTS, maxTS int64
 	empty        bool
 }
 
-func newChainedSub(f Factory) *chainedSub {
-	return &chainedSub{sub: f(), empty: true}
+func newChainedSub(f Factory, id uint64) *chainedSub {
+	return &chainedSub{id: id, sub: f(), empty: true}
 }
 
 func (cs *chainedSub) insert(t *tuple.Tuple) {
@@ -123,7 +134,8 @@ func NewChained(factory Factory, period int64, win window.Sliding) (*Chained, er
 		factory: factory,
 		period:  period,
 		win:     win,
-		active:  newChainedSub(factory),
+		active:  newChainedSub(factory, 1),
+		nextID:  2,
 	}, nil
 }
 
@@ -153,7 +165,8 @@ func (c *Chained) Insert(t *tuple.Tuple) {
 
 func (c *Chained) archiveActive() {
 	c.archived = append(c.archived, c.active)
-	c.active = newChainedSub(c.factory)
+	c.active = newChainedSub(c.factory, c.nextID)
+	c.nextID++
 	c.archives++
 }
 
@@ -219,3 +232,85 @@ func (c *Chained) Dropped() int64 { return c.dropped }
 
 // Archives returns how many sub-indexes have been sealed so far.
 func (c *Chained) Archives() int64 { return c.archives }
+
+// Segment is the exported view of one chained sub-index, the unit of
+// incremental checkpointing. A sealed segment is an archived sub-index
+// whose content can never change again — the checkpoint layer writes it
+// once and garbage-collects it when expiry drops it from the chain
+// (mirroring Expire's whole-segment discards). The live segment is the
+// active sub-index, rewritten on every checkpoint round.
+type Segment struct {
+	ID     uint64
+	Sealed bool
+	MinTS  int64
+	MaxTS  int64
+	Tuples []*tuple.Tuple
+}
+
+// ExportSegments snapshots the chain as segments in chain order: the
+// archived sub-indexes oldest first, then the active one (Sealed ==
+// false, always last, possibly empty). Tuple pointers are shared, not
+// copied — tuples are immutable once emitted by a source.
+func (c *Chained) ExportSegments() []Segment {
+	out := make([]Segment, 0, len(c.archived)+1)
+	for _, cs := range c.archived {
+		out = append(out, cs.export(true))
+	}
+	out = append(out, c.active.export(false))
+	return out
+}
+
+func (cs *chainedSub) export(sealed bool) Segment {
+	seg := Segment{ID: cs.id, Sealed: sealed}
+	if !cs.empty {
+		seg.MinTS, seg.MaxTS = cs.minTS, cs.maxTS
+	}
+	seg.Tuples = make([]*tuple.Tuple, 0, cs.sub.Len())
+	cs.sub.Export(func(t *tuple.Tuple) bool {
+		seg.Tuples = append(seg.Tuples, t)
+		return true
+	})
+	return seg
+}
+
+// ImportSegments replaces the chain's contents with previously exported
+// segments (checkpoint restore). Segments must arrive in chain order
+// with strictly increasing ids, every segment sealed except the last.
+// Timestamps, lengths and memory accounting are recomputed by
+// re-inserting, so a restored chain archives and expires exactly as the
+// original would.
+func (c *Chained) ImportSegments(segs []Segment) error {
+	if len(segs) == 0 {
+		return fmt.Errorf("index: import needs at least the live segment")
+	}
+	for i, s := range segs {
+		if sealed := i < len(segs)-1; s.Sealed != sealed {
+			return fmt.Errorf("index: segment %d (id %d) sealed=%v, want %v (live segment must be last)",
+				i, s.ID, s.Sealed, sealed)
+		}
+		if i > 0 && s.ID <= segs[i-1].ID {
+			return fmt.Errorf("index: segment ids not increasing (%d after %d)", s.ID, segs[i-1].ID)
+		}
+	}
+	c.archived = nil
+	c.totalLen = 0
+	c.memBytes = 0
+	for _, s := range segs {
+		cs := newChainedSub(c.factory, s.ID)
+		for _, t := range s.Tuples {
+			before := cs.sub.MemBytes()
+			cs.insert(t)
+			c.memBytes += cs.sub.MemBytes() - before
+			c.totalLen++
+		}
+		if s.Sealed {
+			c.archived = append(c.archived, cs)
+		} else {
+			c.active = cs
+		}
+		if s.ID >= c.nextID {
+			c.nextID = s.ID + 1
+		}
+	}
+	return nil
+}

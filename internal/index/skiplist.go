@@ -138,6 +138,17 @@ func (s *SkipList) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
 	}
 }
 
+// Export implements SubIndex: key-order walk of every stored tuple.
+func (s *SkipList) Export(emit func(*tuple.Tuple) bool) {
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		for _, t := range n.tuples {
+			if !emit(t) {
+				return
+			}
+		}
+	}
+}
+
 // Len implements SubIndex.
 func (s *SkipList) Len() int { return s.length }
 

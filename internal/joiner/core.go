@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"bistream/internal/checkpoint"
 	"bistream/internal/dedup"
 	"bistream/internal/index"
 	"bistream/internal/metrics"
@@ -284,4 +285,42 @@ func (c *Core) Stats() Stats {
 // the reorder buffer.
 func (c *Core) MemBytes() int64 {
 	return c.idx.MemBytes() + int64(c.reorder.Pending())*96
+}
+
+// Snapshot captures the core's full recoverable state: the chained
+// index per segment (sealed sub-indexes are immutable, so the
+// checkpoint layer writes each once), the ordering protocol's frontiers
+// and still-buffered envelopes, and the dedup filter. The caller
+// (Service) must hold its serialization lock; the returned snapshot
+// shares tuple pointers with the live index, which is safe because
+// stored tuples are immutable after insertion.
+func (c *Core) Snapshot() *checkpoint.Snapshot {
+	fronts, pending := c.reorder.Export()
+	return &checkpoint.Snapshot{
+		Rel:       c.cfg.Rel,
+		JoinerID:  c.cfg.ID,
+		Segments:  c.idx.ExportSegments(),
+		Frontiers: fronts,
+		Pending:   pending,
+		Dedup:     c.seen.Export(),
+	}
+}
+
+// Restore replaces the core's window, ordering and dedup state with a
+// recovered snapshot — the cold-restart path: the core must be freshly
+// built and not yet receiving traffic. Router paths registered before
+// the restore are preserved only through the snapshot's own frontiers;
+// call AddRouter after Restore for any paths added since the checkpoint
+// (AddRouter never regresses an existing frontier).
+func (c *Core) Restore(snap *checkpoint.Snapshot) error {
+	if snap.Rel != c.cfg.Rel || snap.JoinerID != c.cfg.ID {
+		return fmt.Errorf("joiner: snapshot for %s-%d restored into %s-%d",
+			snap.Rel, snap.JoinerID, c.cfg.Rel, c.cfg.ID)
+	}
+	if err := c.idx.ImportSegments(snap.Segments); err != nil {
+		return fmt.Errorf("joiner: restore: %w", err)
+	}
+	c.reorder.Restore(snap.Frontiers, snap.Pending)
+	c.seen = dedup.FromState(snap.Dedup)
+	return nil
 }

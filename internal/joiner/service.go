@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/checkpoint"
 	"bistream/internal/metrics"
 	"bistream/internal/protocol"
 	"bistream/internal/topo"
@@ -40,11 +41,32 @@ type Service struct {
 	// by a background ticker while the stream is quiet.
 	retry [][]byte
 
+	// Checkpointing (nil ckpt = disabled). With checkpointing on, acks
+	// are deferred: a handled delivery joins pendingAcks and is
+	// acknowledged only after the next checkpoint commits — the ack
+	// barrier that makes a cold restart lossless (unacked deliveries are
+	// requeued by the broker; acked ones are in the checkpoint).
+	ckpt         *checkpoint.Checkpointer
+	ckptInterval time.Duration
+	pendingAcks  []pendingAck
+	// ckptMu serializes whole checkpoint rounds (the Checkpointer is
+	// not safe for concurrent use, and Stop's final round can otherwise
+	// race the ticker's). Always taken before mu.
+	ckptMu sync.Mutex
+
 	redelivered   *metrics.Counter
 	publishErrors *metrics.Counter
 	ackErrors     *metrics.Counter
 	poison        *metrics.Counter
 	dropped       *metrics.Counter
+	ckptErrors    *metrics.Counter
+}
+
+// pendingAck is one handled-but-unacknowledged delivery awaiting the
+// next checkpoint commit.
+type pendingAck struct {
+	cons broker.Consumer
+	tag  uint64
 }
 
 // retryBacklogCap bounds the buffered result bodies during a broker
@@ -94,7 +116,54 @@ func NewService(core *Core, client broker.Client) *Service {
 		defer s.mu.Unlock()
 		return float64(core.idx.NumSubIndexes())
 	})
+	reg.GaugeFunc(prefix+"pending_acks", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.pendingAcks))
+	})
+	s.ckptErrors = reg.Counter(prefix + "checkpoint_errors")
 	return s
+}
+
+// defaultCheckpointInterval paces checkpoints when the caller passes a
+// non-positive interval. It must stay well under the time 256 deliveries
+// (the consumer prefetch) take to arrive, or deferred acks would stall
+// the stream between rounds.
+const defaultCheckpointInterval = 250 * time.Millisecond
+
+// EnableCheckpointing turns on checkpointed operation before Start: the
+// store is scanned for an existing checkpoint, and if one is intact the
+// core's window, ordering, dedup and retry-backlog state are restored
+// from it. From then on a background loop snapshots the core every
+// interval, and broker acks are withheld until the checkpoint covering
+// the delivery commits. Returns whether prior state was recovered; an
+// error means durable state exists but cannot be trusted (the caller
+// should not start the member blind).
+func (s *Service) EnableCheckpointing(ck *checkpoint.Checkpointer, interval time.Duration) (bool, error) {
+	if interval <= 0 {
+		interval = defaultCheckpointInterval
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return false, fmt.Errorf("joiner: EnableCheckpointing after Start")
+	}
+	snap, err := ck.Recover()
+	if err != nil {
+		return false, err
+	}
+	if snap != nil {
+		if err := s.core.Restore(snap); err != nil {
+			return false, err
+		}
+		s.retry = nil
+		if len(snap.Retry) > 0 {
+			s.retry = append(s.retry, snap.Retry...)
+		}
+	}
+	s.ckpt = ck
+	s.ckptInterval = interval
+	return snap != nil, nil
 }
 
 // Queues returns the (storeQueue, joinQueue) names of this member.
@@ -137,11 +206,21 @@ func (s *Service) Start() error {
 			return err
 		}
 	}
-	storeCons, err := s.client.Consume(storeQ, 256, false)
+	// With checkpointing the ack barrier keeps every delivery of an
+	// interval unacked until the covering epoch commits, so prefetch —
+	// not processing speed — caps throughput at prefetch/interval per
+	// queue. A deeper window keeps one interval of peak traffic in
+	// flight; without checkpointing acks are immediate and the smaller
+	// window bounds memory just as well.
+	prefetch := 256
+	if s.ckpt != nil {
+		prefetch = 4096
+	}
+	storeCons, err := s.client.Consume(storeQ, prefetch, false)
 	if err != nil {
 		return err
 	}
-	joinCons, err := s.client.Consume(joinQ, 256, false)
+	joinCons, err := s.client.Consume(joinQ, prefetch, false)
 	if err != nil {
 		storeCons.Cancel()
 		return err
@@ -149,10 +228,17 @@ func (s *Service) Start() error {
 	s.storeCons, s.joinCons = storeCons, joinCons
 	s.stopCh = make(chan struct{})
 	s.started = true
-	s.wg.Add(3)
+	loops := 3
+	if s.ckpt != nil {
+		loops++
+	}
+	s.wg.Add(loops)
 	go s.consumeLoop(storeCons, protocol.SourceStore)
 	go s.consumeLoop(joinCons, protocol.SourceJoin)
 	go s.retryLoop(s.stopCh)
+	if s.ckpt != nil {
+		go s.checkpointLoop(s.stopCh)
+	}
 	return nil
 }
 
@@ -168,8 +254,15 @@ func (s *Service) Stop() {
 	}
 	s.started = false
 	storeCons, joinCons := s.storeCons, s.joinCons
+	ckpt := s.ckpt
 	close(s.stopCh)
 	s.mu.Unlock()
+	if ckpt != nil {
+		// Final checkpoint before cancelling: it acks every covered
+		// delivery, so the broker requeues only what arrived after it.
+		// Best-effort — a failure just means more redelivery on restart.
+		_ = s.checkpointNow()
+	}
 	storeCons.Cancel()
 	joinCons.Cancel()
 	s.wg.Wait()
@@ -264,7 +357,17 @@ func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {
 		s.mu.Lock()
 		s.core.Handle(env, src, s.emit)
 		s.drainRetryLocked()
+		deferAck := s.ckpt != nil
+		if deferAck {
+			s.pendingAcks = append(s.pendingAcks, pendingAck{cons, d.Tag})
+		}
 		s.mu.Unlock()
+		if deferAck {
+			// Checkpointed operation: the ack waits for the next
+			// checkpoint commit, so a cold crash can only lose deliveries
+			// the broker still holds unacked — and will redeliver.
+			continue
+		}
 		// Ack after the core fully handled the envelope: a crash before
 		// this point requeues it (at-least-once), and the core's dedup
 		// absorbs the redelivery. An ack that fails (connection lost in
@@ -274,6 +377,71 @@ func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {
 			s.ackErrors.Inc()
 		}
 	}
+}
+
+// checkpointLoop snapshots the core every interval while the service
+// runs. Save happens outside the service mutex — the snapshot owns
+// copies of all mutable containers and tuples are immutable — so the
+// consume loops keep flowing during the (possibly slow) store write.
+func (s *Service) checkpointLoop(stop <-chan struct{}) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.ckptInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			_ = s.checkpointNow()
+		}
+	}
+}
+
+// checkpointNow takes one checkpoint round: snapshot under the mutex,
+// persist outside it, then acknowledge every delivery the committed
+// checkpoint covers. On a failed save the captured acks are put back —
+// the deliveries stay unacked until some later round commits, keeping
+// the ack barrier intact.
+func (s *Service) checkpointNow() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	if s.ckpt == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	snap := s.core.Snapshot()
+	if len(s.retry) > 0 {
+		snap.Retry = append([][]byte(nil), s.retry...)
+	}
+	acks := s.pendingAcks
+	s.pendingAcks = nil
+	s.mu.Unlock()
+	if err := s.ckpt.Save(snap); err != nil {
+		s.ckptErrors.Inc()
+		s.mu.Lock()
+		s.pendingAcks = append(acks, s.pendingAcks...)
+		s.mu.Unlock()
+		return err
+	}
+	for _, a := range acks {
+		if err := a.cons.Ack(a.tag); err != nil {
+			s.ackErrors.Inc()
+		}
+	}
+	return nil
+}
+
+// CheckpointNow forces a checkpoint round outside the ticker (tests and
+// orderly shutdown paths).
+func (s *Service) CheckpointNow() error { return s.checkpointNow() }
+
+// PendingAcks reports how many handled deliveries await the next
+// checkpoint commit.
+func (s *Service) PendingAcks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pendingAcks)
 }
 
 // retryLoop republishes buffered results while the stream is quiet, so

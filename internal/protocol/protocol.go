@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -314,6 +315,48 @@ func (r *Reorderer) release() []Envelope {
 		r.released++
 	}
 	return out
+}
+
+// Frontier is one (router, source) path's punctuation watermark, the
+// per-router sequence cursor a checkpoint manifest carries so a
+// restored joiner resumes releasing from exactly where it stopped.
+type Frontier struct {
+	Router  int32
+	Source  Source
+	Counter uint64
+}
+
+// Export snapshots the reorderer: every registered path's frontier
+// (sorted by router then source, for a deterministic encoding) and the
+// buffered envelopes still awaiting release, in heap order.
+func (r *Reorderer) Export() ([]Frontier, []Envelope) {
+	fronts := make([]Frontier, 0, len(r.frontier))
+	for k, c := range r.frontier {
+		fronts = append(fronts, Frontier{Router: k.router, Source: k.source, Counter: c})
+	}
+	sort.Slice(fronts, func(i, j int) bool {
+		if fronts[i].Router != fronts[j].Router {
+			return fronts[i].Router < fronts[j].Router
+		}
+		return fronts[i].Source < fronts[j].Source
+	})
+	pending := make([]Envelope, len(r.pending))
+	copy(pending, r.pending)
+	return fronts, pending
+}
+
+// Restore replaces the reorderer's state with an exported snapshot.
+// Envelopes redelivered after a restore coexist with their restored
+// pending twins; the consumer's idempotency filter suppresses the
+// second release.
+func (r *Reorderer) Restore(fronts []Frontier, pending []Envelope) {
+	r.frontier = make(map[frontKey]uint64, len(fronts))
+	for _, f := range fronts {
+		r.frontier[frontKey{f.Router, f.Source}] = f.Counter
+	}
+	r.pending = make(envHeap, len(pending))
+	copy(r.pending, pending)
+	heap.Init(&r.pending)
 }
 
 // Flush releases everything regardless of frontiers (engine shutdown).

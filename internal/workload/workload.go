@@ -154,6 +154,11 @@ type Config struct {
 	PayloadBytes int
 	// Seed makes runs reproducible.
 	Seed int64
+	// SeqStart offsets the first emitted sequence number (first tuple
+	// gets SeqStart+1). A source restarted against a live pipeline must
+	// continue past its previous run's seqs, or the joiners' idempotency
+	// filters will suppress the "replayed" range as duplicates.
+	SeqStart uint64
 }
 
 // Generator converts elapsed virtual time into tuple batches.
@@ -182,6 +187,7 @@ func New(cfg Config) (*Generator, error) {
 	return &Generator{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		seq:     cfg.SeqStart,
 		payload: strings.Repeat("x", cfg.PayloadBytes),
 	}, nil
 }
