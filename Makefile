@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz-smoke check bench bench-json clean
+.PHONY: build test race vet doclint linkcheck fuzz-smoke check bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Documentation gates: every internal/ package needs a package doc
+# comment (checkpoint/core/migrate additionally document every exported
+# symbol), and every relative markdown link must resolve.
+doclint:
+	$(GO) run ./tools/doclint
+
+linkcheck:
+	$(GO) run ./tools/linkcheck
 
 # Short fuzz passes over the parsers that face untrusted bytes: broker
 # topic patterns, tuple codecs, protocol envelopes. Ten seconds each is
@@ -28,7 +37,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeManifest$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # The gate new changes must pass before merging.
-check: vet build race fuzz-smoke
+check: vet build race doclint linkcheck fuzz-smoke
 
 # Quick throughput benches (the full experiment suite takes minutes;
 # see EXPERIMENTS.md for `bistream exp all`).

@@ -6,7 +6,7 @@
 //
 //	bistream run [-predicate 'equi(0,0)'] [-rate 300] [-duration 10s] ...
 //	bistream status
-//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|heap|all}
+//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|all}
 package main
 
 import (
@@ -49,7 +49,7 @@ func usage() {
   bistream run    [flags]   run a self-contained engine on a synthetic workload
   bistream status           print the Figure 14/16/17/18/19 deployment tables
   bistream exp    <name>    regenerate an experiment:
-                            fig20 fig21 models ordering chain routing punctuation scaleout heap all
+                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap all
 `)
 	os.Exit(2)
 }
@@ -185,7 +185,7 @@ func cmdExp(args []string) {
 		usage()
 	}
 	if names[0] == "all" {
-		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "fig20", "fig21", "heap"}
+		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "fig20", "fig21", "heap"}
 	}
 	for _, name := range names {
 		if err := runExperiment(name, *csvDir); err != nil {
@@ -287,6 +287,13 @@ func runExperiment(name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatHeapAblation(rows))
+	case "scalein":
+		fmt.Println("=== E11 / §3.4: live state migration on HPA scale-in ===")
+		res, err := experiments.RunScaleIn(experiments.DefaultScaleInConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScaleIn(res))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

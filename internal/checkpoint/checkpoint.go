@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"strings"
 
+	"bistream/internal/index"
 	"bistream/internal/metrics"
 )
 
@@ -27,10 +28,10 @@ type Checkpointer struct {
 	store Store
 	epoch uint64
 	// written records sealed segment blobs already durable in the store
-	// (by segment ID), so Save skips re-serializing them — the property
-	// that makes checkpoint cost proportional to the live segment, not
-	// the window.
-	written map[uint64]segRef
+	// (by the segment's (origin, id) identity), so Save skips
+	// re-serializing them — the property that makes checkpoint cost
+	// proportional to the live segment, not the window.
+	written map[segIdent]segRef
 	// prevKeys holds the previous committed manifest's blob keys. GC
 	// keeps them so a crash mid-round can still recover the previous
 	// epoch in full.
@@ -58,7 +59,7 @@ func New(cfg Config) *Checkpointer {
 	p := cfg.Prefix
 	return &Checkpointer{
 		store:       cfg.Store,
-		written:     make(map[uint64]segRef),
+		written:     make(map[segIdent]segRef),
 		prevKeys:    make(map[string]struct{}),
 		saves:       reg.Counter(p + "checkpoint_saves"),
 		saveErrors:  reg.Counter(p + "checkpoint_save_errors"),
@@ -75,8 +76,25 @@ func New(cfg Config) *Checkpointer {
 // Epoch returns the last committed checkpoint epoch (0 before any).
 func (c *Checkpointer) Epoch() uint64 { return c.epoch }
 
+// segIdent is a segment's global identity: (origin, id). Local
+// segments carry origin index.OriginLocal; grafted ones keep their
+// donor's member id, whose id sequence is independent of ours.
+type segIdent struct {
+	origin int32
+	id     uint64
+}
+
 func manifestKey(epoch uint64) string { return fmt.Sprintf("manifest-%016x", epoch) }
-func sealedKey(id uint64) string      { return fmt.Sprintf("seg-%016x", id) }
+
+// sealedKey names a sealed segment blob. Foreign (grafted) segments get
+// an origin-qualified key so they can never collide with a local
+// segment of the same id.
+func sealedKey(origin int32, id uint64) string {
+	if origin == index.OriginLocal {
+		return fmt.Sprintf("seg-%016x", id)
+	}
+	return fmt.Sprintf("seg-f%d-%016x", origin, id)
+}
 
 // liveKey is epoch-qualified: the live segment is rewritten every
 // round, and writing epoch N's copy under a fresh key means a torn
@@ -103,8 +121,9 @@ func (c *Checkpointer) Save(s *Snapshot) error {
 		Retry:     s.Retry,
 	}
 	for _, seg := range s.Segments {
+		ident := segIdent{seg.Origin, seg.ID}
 		if seg.Sealed {
-			if ref, ok := c.written[seg.ID]; ok {
+			if ref, ok := c.written[ident]; ok {
 				c.segsSkipped.Inc()
 				m.Refs = append(m.Refs, ref)
 				continue
@@ -112,7 +131,7 @@ func (c *Checkpointer) Save(s *Snapshot) error {
 		}
 		key := liveKey(epoch)
 		if seg.Sealed {
-			key = sealedKey(seg.ID)
+			key = sealedKey(seg.Origin, seg.ID)
 		}
 		blob := encodeSegment(seg)
 		if err := c.store.Put(key, blob); err != nil {
@@ -122,6 +141,7 @@ func (c *Checkpointer) Save(s *Snapshot) error {
 		ref := segRef{
 			Key:    key,
 			ID:     seg.ID,
+			Origin: seg.Origin,
 			Sealed: seg.Sealed,
 			CRC:    blobCRC(blob),
 			Len:    uint32(len(blob)),
@@ -129,7 +149,7 @@ func (c *Checkpointer) Save(s *Snapshot) error {
 		c.segsWritten.Inc()
 		c.bytes.Add(int64(len(blob)))
 		if seg.Sealed {
-			c.written[seg.ID] = ref
+			c.written[ident] = ref
 		}
 		m.Refs = append(m.Refs, ref)
 	}
@@ -179,11 +199,11 @@ func (c *Checkpointer) gc(m *manifest) {
 	}
 	// Trim the ledgers to what this round still references.
 	c.prevKeys = make(map[string]struct{}, len(m.Refs))
-	live := make(map[uint64]segRef, len(m.Refs))
+	live := make(map[segIdent]segRef, len(m.Refs))
 	for _, ref := range m.Refs {
 		c.prevKeys[ref.Key] = struct{}{}
 		if ref.Sealed {
-			live[ref.ID] = ref
+			live[segIdent{ref.Origin, ref.ID}] = ref
 		}
 	}
 	c.written = live
@@ -241,12 +261,12 @@ func (c *Checkpointer) Recover() (*Snapshot, error) {
 			continue
 		}
 		c.epoch = m.Epoch
-		c.written = make(map[uint64]segRef)
+		c.written = make(map[segIdent]segRef)
 		c.prevKeys = make(map[string]struct{}, len(m.Refs))
 		for _, ref := range m.Refs {
 			c.prevKeys[ref.Key] = struct{}{}
 			if ref.Sealed {
-				c.written[ref.ID] = ref
+				c.written[segIdent{ref.Origin, ref.ID}] = ref
 			}
 		}
 		c.recoveries.Inc()
@@ -296,7 +316,7 @@ func (c *Checkpointer) tryRecover(epoch uint64) (*Snapshot, *manifest, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w", epoch, ref.Key, err)
 		}
-		if seg.ID != ref.ID || seg.Sealed != ref.Sealed {
+		if seg.ID != ref.ID || seg.Origin != ref.Origin || seg.Sealed != ref.Sealed {
 			return nil, nil, fmt.Errorf("epoch %d: segment %s: %w: identity mismatch", epoch, ref.Key, ErrCorrupt)
 		}
 		snap.Segments = append(snap.Segments, seg)

@@ -20,10 +20,10 @@ func mkSnapshot() *Snapshot {
 		Rel:      tuple.R,
 		JoinerID: 3,
 		Segments: []index.Segment{
-			{ID: 1, Sealed: true, MinTS: 10, MaxTS: 20, Tuples: []*tuple.Tuple{
+			{ID: 1, Origin: index.OriginLocal, Sealed: true, MinTS: 10, MaxTS: 20, Tuples: []*tuple.Tuple{
 				mkTuple(tuple.R, 1, 10, 7), mkTuple(tuple.R, 2, 20, 9),
 			}},
-			{ID: 2, Sealed: false, MinTS: 30, MaxTS: 30, Tuples: []*tuple.Tuple{
+			{ID: 2, Origin: index.OriginLocal, Sealed: false, MinTS: 30, MaxTS: 30, Tuples: []*tuple.Tuple{
 				mkTuple(tuple.R, 3, 30, 7),
 			}},
 		},
@@ -185,13 +185,13 @@ func TestGCDropsExpiredSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	// seg-1 still retained: epoch 1's manifest may be the fallback.
-	if _, err := st.Get(sealedKey(1)); err != nil {
+	if _, err := st.Get(sealedKey(index.OriginLocal, 1)); err != nil {
 		t.Fatalf("seg-1 collected one round early: %v", err)
 	}
 	if err := c.Save(expired); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Get(sealedKey(1)); !errors.Is(err, ErrNotFound) {
+	if _, err := st.Get(sealedKey(index.OriginLocal, 1)); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("seg-1 not collected after retention round: %v", err)
 	}
 	// Both surviving manifests must still recover.

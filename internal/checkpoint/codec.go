@@ -16,10 +16,10 @@ import (
 // both ending in a CRC-32C of everything before it, so recovery can
 // reject torn or bit-rotted blobs without trusting their contents:
 //
-//	segment  "BSG1" | id u64 | sealed byte | minTS u64 | maxTS u64 |
+//	segment  "BSG2" | id u64 | origin u32 | sealed byte | minTS u64 | maxTS u64 |
 //	         uvarint count | count × (uvarint len | tuple bytes) | crc u32
-//	manifest "BMF1" | rel byte | joiner u32 | epoch u64 |
-//	         uvarint nrefs  | nrefs  × (uvarint len | key | id u64 |
+//	manifest "BMF2" | rel byte | joiner u32 | epoch u64 |
+//	         uvarint nrefs  | nrefs  × (uvarint len | key | id u64 | origin u32 |
 //	                                    sealed byte | crc u32 | len u32) |
 //	         uvarint nfront | nfront × (router u32 | source u32 | counter u64) |
 //	         uvarint npend  | npend  × (uvarint len | envelope bytes) |
@@ -36,15 +36,18 @@ import (
 var ErrCorrupt = errors.New("checkpoint: corrupt encoding")
 
 var (
-	segMagic      = []byte("BSG1")
-	manifestMagic = []byte("BMF1")
+	segMagic      = []byte("BSG2")
+	manifestMagic = []byte("BMF2")
 	crcTable      = crc32.MakeTable(crc32.Castagnoli)
 )
 
-// segRef is a manifest's pointer to one segment blob.
+// segRef is a manifest's pointer to one segment blob. Origin joins ID
+// in the segment's identity: a grafted (migrated-in) segment keeps its
+// donor's id, which may collide with a local one.
 type segRef struct {
 	Key    string
 	ID     uint64
+	Origin int32
 	Sealed bool
 	CRC    uint32
 	Len    uint32
@@ -69,11 +72,27 @@ func boolByte(b bool) byte {
 	return 0
 }
 
+// EncodeSegment serializes one segment for transport: the migration
+// coordinator reuses the checkpoint segment encoding as its wire
+// format, so state moves between members in blobs recovery already
+// knows how to validate.
+func EncodeSegment(seg index.Segment) []byte { return encodeSegment(seg) }
+
+// DecodeSegment parses and CRC-checks a segment blob (the inverse of
+// EncodeSegment).
+func DecodeSegment(blob []byte) (index.Segment, error) { return decodeSegment(blob) }
+
+// BlobCRC is the checksum manifests and migration transfers record per
+// segment blob: the CRC-32C of the whole blob including its own
+// trailing CRC.
+func BlobCRC(blob []byte) uint32 { return blobCRC(blob) }
+
 // encodeSegment serializes one segment (metadata plus its tuples).
 func encodeSegment(seg index.Segment) []byte {
 	buf := make([]byte, 0, 32+len(seg.Tuples)*48)
 	buf = append(buf, segMagic...)
 	buf = binary.LittleEndian.AppendUint64(buf, seg.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(seg.Origin))
 	buf = append(buf, boolByte(seg.Sealed))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.MinTS))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.MaxTS))
@@ -95,6 +114,7 @@ func decodeSegment(blob []byte) (index.Segment, error) {
 	r := &reader{b: body}
 	seg := index.Segment{
 		ID:     r.u64(),
+		Origin: int32(r.u32()),
 		Sealed: r.u8() != 0,
 		MinTS:  int64(r.u64()),
 		MaxTS:  int64(r.u64()),
@@ -135,6 +155,7 @@ func encodeManifest(m *manifest) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(ref.Key)))
 		buf = append(buf, ref.Key...)
 		buf = binary.LittleEndian.AppendUint64(buf, ref.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ref.Origin))
 		buf = append(buf, boolByte(ref.Sealed))
 		buf = binary.LittleEndian.AppendUint32(buf, ref.CRC)
 		buf = binary.LittleEndian.AppendUint32(buf, ref.Len)
@@ -186,11 +207,12 @@ func decodeManifest(blob []byte) (*manifest, error) {
 		}
 	}
 	nrefs := r.uvarint()
-	r.boundCount(nrefs, 18) // min ref size: 1-byte key len + 17 fixed
+	r.boundCount(nrefs, 22) // min ref size: 1-byte key len + 21 fixed
 	for i := uint64(0); i < nrefs && r.err == nil; i++ {
 		ref := segRef{
 			Key:    string(r.lenBytes()),
 			ID:     r.u64(),
+			Origin: int32(r.u32()),
 			Sealed: r.u8() != 0,
 			CRC:    r.u32(),
 			Len:    r.u32(),

@@ -69,6 +69,11 @@ type HPA struct {
 	Tolerance float64
 	// StabilizationWindow delays scale-down (default 3 minutes).
 	StabilizationWindow time.Duration
+	// OnScale, when set, is invoked after each rescale with the old and
+	// new replica counts. The engine glue binds it to ScaleJoiners,
+	// which makes a shrink verdict a live state migration rather than a
+	// bare pod deletion.
+	OnScale func(from, to int)
 
 	recommendations []recommendation
 	lastRatio       float64
@@ -185,6 +190,9 @@ func (h *HPA) Reconcile(now time.Time) {
 	if desired != current {
 		h.Deployment.Scale(desired)
 		h.Deployment.Reconcile(now)
+		if h.OnScale != nil {
+			h.OnScale(current, desired)
+		}
 	}
 }
 

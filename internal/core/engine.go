@@ -118,6 +118,14 @@ type Config struct {
 	// ColdCrashJoiner, CrashRouter, the Supervisor). Zero-value fields
 	// take the DefaultRetryPolicy defaults.
 	Restart RetryPolicy
+	// MigrateOnShrink makes windowed joins migrate a removed member's
+	// state to the survivors instead of sealing it and waiting a full
+	// window for drain. Full-history joins always migrate on scale-in
+	// (drain never happens); both paths require the ordering protocol.
+	MigrateOnShrink bool
+	// MigrationTimeout bounds one donor's migration (drain, transfer,
+	// import, cut-over); zero uses migrate.DefaultTimeout.
+	MigrationTimeout time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -220,20 +228,35 @@ type Engine struct {
 	resultSeen  *dedup.Set
 	resultDedup *metrics.Counter // engine.result_dedup
 
+	migrations     *metrics.Counter // engine.migrations
+	migratedTuples *metrics.Counter // engine.migrated_tuples
+
 	mu       sync.Mutex
 	routers  []*router.Service
 	rJoiners []*joiner.Service
 	sJoiners []*joiner.Service
 	sealed   []sealedJoiner
-	nextRtr  int32
-	nextJid  [2]int32
-	seq      uint64
-	obsSrv   *obs.Server
-	sinkCons broker.Consumer
-	sinkDone chan struct{}
-	sinkStop chan struct{}
-	started  bool
-	stopped  bool
+	// migrating holds scale-in donors whose window is being moved to the
+	// surviving members. They are out of the layout but keep consuming
+	// and emitting until the migration's cut-over barrier passes, so
+	// they appear in allJoinersLocked. migLock serializes migrations end
+	// to end without holding e.mu across the broker transfer.
+	migrating []*migratingDonor
+	migLock   sync.Mutex
+	// deadJoiners records members removed by migration, per relation.
+	// Routers filter them from old-generation join fan-out (their queues
+	// are deleted); new routers replay the list after the layout history.
+	deadJoiners [2][]int32
+	migAttempt  uint64 // transfer attempt counter, see topo.MigrateKey
+	nextRtr     int32
+	nextJid     [2]int32
+	seq         uint64
+	obsSrv      *obs.Server
+	sinkCons    broker.Consumer
+	sinkDone    chan struct{}
+	sinkStop    chan struct{}
+	started     bool
+	stopped     bool
 
 	// layoutHist records every layout change per relation so new
 	// routers can replay it (see layoutChange).
@@ -303,6 +326,8 @@ func New(cfg Config) (*Engine, error) {
 	e.tuplesIn = e.reg.Counter("engine.tuples_in")
 	e.resultsN = e.reg.Counter("engine.results")
 	e.resultDedup = e.reg.Counter("engine.result_dedup")
+	e.migrations = e.reg.Counter("engine.migrations")
+	e.migratedTuples = e.reg.Counter("engine.migrated_tuples")
 	if !cfg.Unordered {
 		e.resultSeen = dedup.New(0)
 	}
@@ -325,6 +350,11 @@ func New(cfg Config) (*Engine, error) {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		return float64(len(e.sealed))
+	})
+	e.reg.GaugeFunc("engine.migrating", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(len(e.migrating))
 	})
 	if e.ownB != nil {
 		broker.RegisterMetrics(e.ownB, e.reg)
@@ -412,8 +442,26 @@ func (e *Engine) Start() error {
 		}
 		e.obsSrv = srv
 	}
+	// Retirement must not depend on anyone polling Stats: sealed members
+	// and parked migration donors are reaped on a timer.
+	go e.reapLoop()
 	e.started = true
 	return nil
+}
+
+// reapLoop drives Reap until the engine stops, so sealed joiners
+// retire even when no caller ever asks for Stats.
+func (e *Engine) reapLoop() {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.sinkStop:
+			return
+		case <-t.C:
+			e.Reap()
+		}
+	}
 }
 
 func (e *Engine) addJoinerLocked(rel tuple.Relation) (*joiner.Service, error) {
@@ -508,6 +556,11 @@ func (e *Engine) addRouterLocked() error {
 				return err
 			}
 		}
+		// Members the replayed generations mention but migration has
+		// since retired: their queues are gone, never fan out to them.
+		for _, dead := range e.deadJoiners[rel] {
+			svc.RetireMember(rel, dead)
+		}
 	}
 	if err := svc.Start(); err != nil {
 		return err
@@ -577,11 +630,16 @@ func equalMembers(a, b []int32) bool {
 }
 
 func (e *Engine) allJoinersLocked() []*joiner.Service {
-	out := make([]*joiner.Service, 0, len(e.rJoiners)+len(e.sJoiners)+len(e.sealed))
+	out := make([]*joiner.Service, 0, len(e.rJoiners)+len(e.sJoiners)+len(e.sealed)+len(e.migrating))
 	out = append(out, e.rJoiners...)
 	out = append(out, e.sJoiners...)
 	for _, s := range e.sealed {
 		out = append(out, s.svc)
+	}
+	for _, m := range e.migrating {
+		if m.svc != nil {
+			out = append(out, m.svc)
+		}
 	}
 	return out
 }
@@ -720,22 +778,35 @@ func (e *Engine) sinkLoop(cons broker.Consumer) {
 }
 
 // ScaleJoiners grows or shrinks one relation's joiner group to n
-// members without migrating data: new members only receive new tuples;
-// removed members stop storing immediately, keep serving join probes
-// while their window drains, and are retired afterwards.
+// members. Growing adds members that only receive new tuples. The
+// shrink path depends on the join mode: windowed joins (by default)
+// seal removed members — they stop storing immediately, keep serving
+// join probes while their window drains, and are retired afterwards —
+// while full-history joins, and windowed joins with
+// Config.MigrateOnShrink, migrate the removed member's state live to
+// the surviving members (see the migration path in migration.go) so no
+// stored tuple and no pending result is lost.
 func (e *Engine) ScaleJoiners(rel tuple.Relation, n int) error {
 	if n < 1 {
 		return fmt.Errorf("core: joiner group must keep at least 1 member")
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if !e.started || e.stopped {
+		e.mu.Unlock()
 		return errors.New("core: engine not running")
 	}
 	js := e.joinersLocked(rel)
-	if e.cfg.FullHistory && n < len(*js) {
-		return fmt.Errorf("core: a full-history join cannot scale in without migration")
+	shrink := n < len(*js)
+	migrateIn := shrink && (e.cfg.FullHistory || e.cfg.MigrateOnShrink)
+	if migrateIn && e.cfg.Unordered {
+		e.mu.Unlock()
+		return fmt.Errorf("core: scale-in migration needs the ordering protocol's drain barrier (Unordered is set)")
 	}
+	if migrateIn {
+		e.mu.Unlock()
+		return e.scaleInWithMigration(rel, n)
+	}
+	defer e.mu.Unlock()
 	for len(*js) < n {
 		if _, err := e.addJoinerLocked(rel); err != nil {
 			return err
@@ -799,9 +870,11 @@ func (e *Engine) pushLayoutsLocked(nowTS int64) error {
 	return nil
 }
 
-// Reap retires sealed joiners whose drain deadline has passed. It is
-// called from Stats and may be called directly; it returns how many
-// members were retired.
+// Reap retires sealed joiners whose drain deadline has passed and
+// migration donors that were parked at cut-over (state safely moved,
+// donor still catching up to the barrier). It runs on a ticker from
+// Start, is also called from Stats, and may be called directly; it
+// returns how many members were retired.
 func (e *Engine) Reap() int {
 	e.mu.Lock()
 	now := e.cfg.Clock.Now()
@@ -815,7 +888,22 @@ func (e *Engine) Reap() int {
 		}
 	}
 	e.sealed = keep
+	var parked []*migratingDonor
+	for _, m := range e.migrating {
+		if m.parked && m.svc != nil {
+			parked = append(parked, m)
+		}
+	}
 	e.mu.Unlock()
+	for _, m := range parked {
+		if m.svc.Frontier() >= m.barrier && m.svc.RetryBacklog() == 0 {
+			retire = append(retire, m.svc)
+			e.mu.Lock()
+			e.removeMigratingLocked(m)
+			e.mu.Unlock()
+			e.migrations.Inc()
+		}
+	}
 	for _, svc := range retire {
 		st := svc.Stats()
 		svc.Retire()
@@ -935,7 +1023,10 @@ func (e *Engine) quiet() bool {
 	if received != routed+fanout {
 		return false
 	}
-	return emitted == resultsN
+	// During a migration's overlap the donor and a recipient can both
+	// emit the same result pair; the sink counts the first in resultsN
+	// and the second in resultDedup, so the sum is the emit count.
+	return emitted == resultsN+e.resultDedup.Value()
 }
 
 // CrashJoiner simulates a *warm* crash/restart of one joiner member

@@ -591,12 +591,41 @@ func TestEngineFullHistoryJoin(t *testing.T) {
 	if got[[2]uint64{1, 2}] != 1 {
 		t.Errorf("full-history pair missing: %v", got)
 	}
-	// Scale-out works; scale-in must refuse (no window to drain).
+	// Scale-out works; scale-in migrates the donor's full history onto
+	// the survivors instead of refusing.
 	if err := e.ScaleJoiners(tuple.R, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.ScaleJoiners(tuple.R, 2); err == nil {
-		t.Error("full-history scale-in accepted")
+	var rs, ss []*tuple.Tuple
+	seq := uint64(100)
+	for i := 0; i < 60; i++ {
+		rs = append(rs, tuple.New(tuple.R, seq, month+int64(i), tuple.Int(int64(i%8))))
+		seq++
+	}
+	ingestAll(t, e, rs)
+	if err := e.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScaleJoiners(tuple.R, 2); err != nil {
+		t.Fatalf("full-history scale-in with migration: %v", err)
+	}
+	if got := e.NumJoiners(tuple.R); got != 2 {
+		t.Fatalf("NumJoiners(R) = %d after scale-in, want 2", got)
+	}
+	// Probes arriving after the migration must still find every tuple
+	// the donor held — including the month-old one.
+	for i := 0; i < 60; i++ {
+		ss = append(ss, tuple.New(tuple.S, seq, month+int64(i), tuple.Int(int64(i%8))))
+		seq++
+	}
+	ingestAll(t, e, ss)
+	if err := e.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := refJoin(append(rs, r), append(ss, s), pred, int64(1)<<62)
+	verifyExactlyOnce(t, col.snapshot(), want, "full-history scale-in")
+	if n := e.Metrics().Counter("engine.migrations").Value(); n == 0 {
+		t.Error("engine.migrations counter did not advance")
 	}
 }
 

@@ -1,0 +1,352 @@
+package core
+
+// Live scale-in migration: the engine-side protocol around
+// migrate.Run. The overall shape (§3.4 elasticity, extended to
+// full-history joins):
+//
+//  1. Under e.mu the donor is popped from the layout and the shrunk
+//     layout is pushed to every router; the routers' stamp cursor
+//     captured right afterwards is the drain barrier — stamping and
+//     publishing are one atomic step, so no store copy routed to the
+//     donor under the old layout can be stamped above it.
+//  2. migrate.Run drains the donor past the barrier, snapshots it,
+//     streams the re-sealed segments over the broker, and grafts them
+//     onto the surviving members chosen by assignFunc — the exact
+//     store-target geometry of the shrunk layout, so every future (and
+//     past) join probe's fan-out covers the member now holding each
+//     grafted tuple.
+//  3. Cut-over: the donor is marked dead in every router's generation
+//     table (old generations keep its positional slot, so subgroup
+//     geometry is undisturbed), and the donor must pass the
+//     post-cut-over cursor with an empty result backlog — proving it
+//     answered every probe that was still addressed to it.
+//  4. The donor retires: final checkpoint, queues deleted, its counters
+//     folded into the engine's retired residue.
+//
+// On any failure before cut-over the donor is reinstated into the
+// layout unharmed. After cut-over its state is already safe on the
+// survivors, so a stalled donor is parked and Reap retires it once its
+// frontier catches up.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bistream/internal/index"
+	"bistream/internal/joiner"
+	"bistream/internal/migrate"
+	"bistream/internal/router"
+	"bistream/internal/tuple"
+)
+
+// migratingDonor tracks one scale-in donor from layout removal to
+// retirement. svc is the donor's current incarnation (ColdCrashDonor
+// swaps it); cutover is set once MarkDead ran, after which the donor
+// can no longer be reinstated; parked marks a donor whose state is
+// safely migrated but whose cut-over wait timed out — Reap retires it
+// once its frontier passes barrier.
+type migratingDonor struct {
+	rel     tuple.Relation
+	id      int32
+	svc     *joiner.Service
+	barrier uint64
+	cutover bool
+	parked  bool
+}
+
+func (e *Engine) removeMigratingLocked(d *migratingDonor) {
+	for i, m := range e.migrating {
+		if m == d {
+			e.migrating = append(e.migrating[:i], e.migrating[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) joinerByIDLocked(rel tuple.Relation, id int32) *joiner.Service {
+	for _, s := range *e.joinersLocked(rel) {
+		if s.ID() == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// scaleInWithMigration shrinks rel's group to n members, migrating one
+// donor at a time. migLock serializes whole migrations so concurrent
+// ScaleJoiners calls cannot interleave donors.
+func (e *Engine) scaleInWithMigration(rel tuple.Relation, n int) error {
+	e.migLock.Lock()
+	defer e.migLock.Unlock()
+	for {
+		done, err := e.migrateOneDonor(rel, n)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// migrateOneDonor pops and migrates the group's last member; done
+// reports that the group already has at most n members.
+func (e *Engine) migrateOneDonor(rel tuple.Relation, n int) (bool, error) {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return true, errors.New("core: engine not running")
+	}
+	js := e.joinersLocked(rel)
+	if len(*js) <= n {
+		e.mu.Unlock()
+		return true, nil
+	}
+	donor := (*js)[len(*js)-1]
+	*js = (*js)[:len(*js)-1]
+	d := &migratingDonor{rel: rel, id: donor.ID(), svc: donor}
+	e.migrating = append(e.migrating, d)
+	if err := e.pushLayoutsLocked(e.cfg.Clock.Now().UnixMilli()); err != nil {
+		*js = append(*js, donor)
+		e.removeMigratingLocked(d)
+		e.mu.Unlock()
+		return false, err
+	}
+	routers := append([]*router.Service(nil), e.routers...)
+	members := e.memberIDsLocked(rel)
+	subgroups := e.subgroupsLocked(rel)
+	e.migAttempt++
+	attempt := e.migAttempt
+	e.mu.Unlock()
+
+	// Drain barrier: all routers already route stores by the shrunk
+	// layout, so nothing stamped above this cursor targets the donor's
+	// store stream.
+	var barrier uint64
+	for _, r := range routers {
+		if c := r.StampCursor(); c > barrier {
+			barrier = c
+		}
+	}
+
+	res, err := migrate.Run(migrate.Config{
+		Client:       e.client,
+		Metrics:      e.reg,
+		Rel:          rel,
+		Origin:       d.id,
+		Attempt:      attempt,
+		DrainBarrier: barrier,
+		Timeout:      e.cfg.MigrationTimeout,
+		Donor: func() migrate.Peer {
+			// Re-resolve every call so a cold-replaced donor is observed
+			// through its recovered incarnation.
+			e.mu.Lock()
+			svc := d.svc
+			e.mu.Unlock()
+			if svc == nil {
+				return nil
+			}
+			return svc
+		},
+		Cursor: func() uint64 {
+			e.mu.Lock()
+			rs := append([]*router.Service(nil), e.routers...)
+			e.mu.Unlock()
+			var c uint64
+			for _, r := range rs {
+				if v := r.StampCursor(); v > c {
+					c = v
+				}
+			}
+			e.mu.Lock()
+			d.barrier = c
+			e.mu.Unlock()
+			return c
+		},
+		Assign: e.assignFunc(members, subgroups),
+		Import: func(member int32, segs []index.Segment) error {
+			return e.importForeign(rel, member, segs)
+		},
+		MarkDead: func() error {
+			e.mu.Lock()
+			d.cutover = true
+			e.deadJoiners[rel] = append(e.deadJoiners[rel], d.id)
+			rs := append([]*router.Service(nil), e.routers...)
+			e.mu.Unlock()
+			for _, r := range rs {
+				r.RetireMember(rel, d.id)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		e.mu.Lock()
+		if d.cutover {
+			// The state is already on the survivors and the donor is out
+			// of all fan-out; only the cut-over wait failed. Park it —
+			// Reap retires it once its frontier passes the barrier.
+			d.parked = true
+			e.mu.Unlock()
+			return false, fmt.Errorf("core: migration of %s-%d stalled at cut-over (donor parked for reap): %w", rel, d.id, err)
+		}
+		// Nothing irreversible happened: put the donor back.
+		cur := d.svc
+		e.removeMigratingLocked(d)
+		if cur != nil {
+			*e.joinersLocked(rel) = append(*e.joinersLocked(rel), cur)
+		}
+		perr := e.pushLayoutsLocked(e.cfg.Clock.Now().UnixMilli())
+		e.mu.Unlock()
+		return false, errors.Join(err, perr)
+	}
+
+	e.mu.Lock()
+	cur := d.svc
+	e.removeMigratingLocked(d)
+	e.mu.Unlock()
+	st := cur.Stats()
+	cur.Retire()
+	e.mu.Lock()
+	e.retiredReceived += st.Received
+	e.retiredResults += st.Results
+	e.mu.Unlock()
+	e.migrations.Inc()
+	e.migratedTuples.Add(int64(res.Tuples))
+	return false, nil
+}
+
+// assignFunc returns the migration's redistribution function: the same
+// member choice the routers' store target makes under the shrunk layout
+// (hash to a subgroup, round-robin within it; round-robin across the
+// whole group for non-partitionable predicates), with private
+// round-robin cursors. Hot keys that ContRand scattered re-concentrate
+// onto their hash subgroup, which stays correct because hot-key probes
+// broadcast.
+func (e *Engine) assignFunc(members []int32, subgroups int) func(*tuple.Tuple) int32 {
+	part := e.cfg.Predicate.Partitionable()
+	rr := make([]uint64, subgroups+1)
+	return func(t *tuple.Tuple) int32 {
+		if !part {
+			m := members[rr[0]%uint64(len(members))]
+			rr[0]++
+			return m
+		}
+		hash := t.Value(e.cfg.Predicate.IndexAttr(t.Rel)).Hash()
+		sub := 0
+		if subgroups > 1 {
+			sub = int(hash % uint64(subgroups))
+		}
+		var subM []int32
+		for i := sub; i < len(members); i += subgroups {
+			subM = append(subM, members[i])
+		}
+		m := subM[rr[sub+1]%uint64(len(subM))]
+		rr[sub+1]++
+		return m
+	}
+}
+
+// importForeign grafts sealed donor segments onto one surviving member
+// and commits them to its checkpoint, retrying across checkpoint
+// failures and cold replacements. The graft is idempotent per
+// (origin, id), so re-running it against a recovered incarnation that
+// already recovered the segments is a no-op.
+func (e *Engine) importForeign(rel tuple.Relation, member int32, segs []index.Segment) error {
+	var lastErr error
+	for try := 0; try < 60; try++ {
+		if try > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		e.mu.Lock()
+		svc := e.joinerByIDLocked(rel, member)
+		e.mu.Unlock()
+		if svc == nil {
+			lastErr = fmt.Errorf("core: migration recipient %s-%d not in layout", rel, member)
+			continue
+		}
+		if err := svc.ImportForeign(segs); err != nil {
+			// Structural rejection (codec, identity): retrying cannot help.
+			return err
+		}
+		// If the member was cold-replaced the graft went into a discarded
+		// core; check identity before committing, and again after — a
+		// replacement recovers from the committed checkpoint, so only a
+		// commit observed by the same incarnation proves durability.
+		e.mu.Lock()
+		same := e.joinerByIDLocked(rel, member) == svc
+		e.mu.Unlock()
+		if !same {
+			lastErr = fmt.Errorf("core: recipient %s-%d replaced mid-import", rel, member)
+			continue
+		}
+		if err := svc.CheckpointNow(); err != nil {
+			lastErr = err
+			continue
+		}
+		e.mu.Lock()
+		same = e.joinerByIDLocked(rel, member) == svc
+		e.mu.Unlock()
+		if same {
+			return nil
+		}
+		lastErr = fmt.Errorf("core: recipient %s-%d replaced during import commit", rel, member)
+	}
+	return lastErr
+}
+
+// ColdCrashDonor simulates losing the machine of a joiner that is
+// currently a migration donor (for fault testing): its service stops,
+// its in-memory core is discarded, and after down a fresh incarnation
+// with the same id recovers from its checkpoint store and re-attaches
+// to the same queues. The running migration observes the replacement
+// through its Donor re-resolution and simply keeps polling — with
+// checkpointing configured the migration still completes with an exact
+// result multiset.
+func (e *Engine) ColdCrashDonor(rel tuple.Relation, down time.Duration) error {
+	e.mu.Lock()
+	var d *migratingDonor
+	for _, m := range e.migrating {
+		if m.rel == rel {
+			d = m
+			break
+		}
+	}
+	e.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("core: no migrating %s donor", rel)
+	}
+	return e.coldReplaceDonor(d, down)
+}
+
+// coldReplaceDonor is the shared donor replacement path of
+// ColdCrashDonor and the supervisor.
+func (e *Engine) coldReplaceDonor(d *migratingDonor, down time.Duration) error {
+	rel := d.rel
+	e.mu.Lock()
+	old := d.svc
+	e.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	if down > 0 {
+		time.Sleep(down)
+	}
+	e.mu.Lock()
+	svc, err := e.buildJoinerLocked(rel, d.id)
+	routerIDs := make([]int32, 0, len(e.routers))
+	for _, r := range e.routers {
+		routerIDs = append(routerIDs, r.ID())
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.Restart.Run(svc.Start); err != nil {
+		return err
+	}
+	for _, rid := range routerIDs {
+		svc.AddRouter(rid)
+	}
+	e.mu.Lock()
+	d.svc = svc
+	e.mu.Unlock()
+	return nil
+}

@@ -109,15 +109,23 @@ func (s *Supervisor) check(state map[string]supHealth) {
 		return
 	}
 	type member struct {
-		rel tuple.Relation
-		svc *joiner.Service
+		rel   tuple.Relation
+		svc   *joiner.Service
+		donor bool
 	}
 	var members []member
 	for _, svc := range e.rJoiners {
-		members = append(members, member{tuple.R, svc})
+		members = append(members, member{tuple.R, svc, false})
 	}
 	for _, svc := range e.sJoiners {
-		members = append(members, member{tuple.S, svc})
+		members = append(members, member{tuple.S, svc, false})
+	}
+	// Migration donors are supervised too: a wedged donor would stall
+	// the migration's drain or cut-over barrier forever.
+	for _, m := range e.migrating {
+		if m.svc != nil {
+			members = append(members, member{m.rel, m.svc, true})
+		}
 	}
 	e.mu.Unlock()
 
@@ -139,7 +147,11 @@ func (s *Supervisor) check(state map[string]supHealth) {
 		if now.Sub(h.since) < s.cfg.Stall {
 			continue
 		}
-		s.replace(m.rel, m.svc)
+		if m.donor {
+			s.replaceDonor(m.svc)
+		} else {
+			s.replace(m.rel, m.svc)
+		}
 		state[key] = supHealth{received: int64(recv), since: now}
 		if s.cfg.OnReplace != nil {
 			s.cfg.OnReplace(m.rel, id)
@@ -190,6 +202,37 @@ func (s *Supervisor) replace(rel tuple.Relation, svc *joiner.Service) {
 		err = e.ColdCrashJoiner(rel, idx, 0)
 	} else {
 		err = e.CrashJoiner(rel, idx, 0)
+	}
+	if err == nil {
+		s.replacements.Inc()
+	}
+}
+
+// replaceDonor restarts a stuck migration donor, resolved by service
+// identity so a parked donor next to an active one is never confused
+// with it. With a checkpoint provider the donor is cold-replaced (the
+// running migration re-resolves it and keeps polling); without one only
+// a warm restart preserves its state.
+func (s *Supervisor) replaceDonor(svc *joiner.Service) {
+	e := s.e
+	e.mu.Lock()
+	var d *migratingDonor
+	for _, m := range e.migrating {
+		if m.svc == svc {
+			d = m
+			break
+		}
+	}
+	e.mu.Unlock()
+	if d == nil {
+		return // migration finished between check and replace
+	}
+	var err error
+	if e.cfg.Checkpoint != nil {
+		err = e.coldReplaceDonor(d, 0)
+	} else {
+		svc.Stop()
+		err = e.cfg.Restart.Run(svc.Start)
 	}
 	if err == nil {
 		s.replacements.Inc()

@@ -418,3 +418,24 @@ func TestRunPunctuationValidation(t *testing.T) {
 		t.Error("empty config accepted")
 	}
 }
+
+func TestRunScaleInMigratesCompletely(t *testing.T) {
+	cfg := DefaultScaleInConfig()
+	cfg.Tuples = 2_000
+	cfg.PostTuples = 500
+	cfg.Keys = 400
+	res, err := RunScaleIn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleEvents == 0 {
+		t.Error("HPA issued no scale event")
+	}
+	if res.Migrations == 0 || res.MovedTuples == 0 {
+		t.Errorf("no migration happened: migrations=%d moved=%d", res.Migrations, res.MovedTuples)
+	}
+	if !res.Complete {
+		t.Errorf("result set incomplete after scale-in: %d / %d", res.Results, res.Expected)
+	}
+	t.Log("\n" + FormatScaleIn(res))
+}

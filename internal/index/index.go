@@ -98,14 +98,19 @@ type chainedSub struct {
 	// checkpoint layer keys incremental segment writes on it: a sealed
 	// (archived) sub-index never changes, so a checkpoint that already
 	// wrote segment id N can skip it forever after.
-	id           uint64
+	id uint64
+	// origin is OriginLocal for sub-indexes built here, or the donor
+	// member's id for segments grafted in by state migration. Identity
+	// for dedup and checkpointing is the (origin, id) pair — two members
+	// assign ids independently, so id alone is ambiguous after a graft.
+	origin       int32
 	sub          SubIndex
 	minTS, maxTS int64
 	empty        bool
 }
 
 func newChainedSub(f Factory, id uint64) *chainedSub {
-	return &chainedSub{id: id, sub: f(), empty: true}
+	return &chainedSub{id: id, origin: OriginLocal, sub: f(), empty: true}
 }
 
 func (cs *chainedSub) insert(t *tuple.Tuple) {
@@ -240,12 +245,21 @@ func (c *Chained) Archives() int64 { return c.archives }
 // (mirroring Expire's whole-segment discards). The live segment is the
 // active sub-index, rewritten on every checkpoint round.
 type Segment struct {
-	ID     uint64
+	ID uint64
+	// Origin is OriginLocal for segments this chain built, or the donor
+	// member's id for segments received through state migration. The
+	// (Origin, ID) pair is the segment's global identity.
+	Origin int32
 	Sealed bool
 	MinTS  int64
 	MaxTS  int64
 	Tuples []*tuple.Tuple
 }
+
+// OriginLocal marks a segment built by the owning chain rather than
+// grafted in from a migration donor. Member ids are non-negative, so -1
+// can never collide with a real donor.
+const OriginLocal int32 = -1
 
 // ExportSegments snapshots the chain as segments in chain order: the
 // archived sub-indexes oldest first, then the active one (Sealed ==
@@ -261,7 +275,7 @@ func (c *Chained) ExportSegments() []Segment {
 }
 
 func (cs *chainedSub) export(sealed bool) Segment {
-	seg := Segment{ID: cs.id, Sealed: sealed}
+	seg := Segment{ID: cs.id, Origin: cs.origin, Sealed: sealed}
 	if !cs.empty {
 		seg.MinTS, seg.MaxTS = cs.minTS, cs.maxTS
 	}
@@ -274,8 +288,10 @@ func (cs *chainedSub) export(sealed bool) Segment {
 }
 
 // ImportSegments replaces the chain's contents with previously exported
-// segments (checkpoint restore). Segments must arrive in chain order
-// with strictly increasing ids, every segment sealed except the last.
+// segments (checkpoint restore). Segments must arrive in chain order,
+// every segment sealed except the last, with (origin, id) unique —
+// local segment ids additionally stay in chain order, while grafted
+// foreign segments sit wherever their timestamps placed them.
 // Timestamps, lengths and memory accounting are recomputed by
 // re-inserting, so a restored chain archives and expires exactly as the
 // original would.
@@ -283,20 +299,34 @@ func (c *Chained) ImportSegments(segs []Segment) error {
 	if len(segs) == 0 {
 		return fmt.Errorf("index: import needs at least the live segment")
 	}
+	seen := make(map[segIdent]bool, len(segs))
+	lastLocal := uint64(0)
 	for i, s := range segs {
 		if sealed := i < len(segs)-1; s.Sealed != sealed {
 			return fmt.Errorf("index: segment %d (id %d) sealed=%v, want %v (live segment must be last)",
 				i, s.ID, s.Sealed, sealed)
 		}
-		if i > 0 && s.ID <= segs[i-1].ID {
-			return fmt.Errorf("index: segment ids not increasing (%d after %d)", s.ID, segs[i-1].ID)
+		ident := segIdent{s.Origin, s.ID}
+		if seen[ident] {
+			return fmt.Errorf("index: duplicate segment (origin %d, id %d)", s.Origin, s.ID)
 		}
+		seen[ident] = true
+		if s.Origin == OriginLocal {
+			if s.ID <= lastLocal {
+				return fmt.Errorf("index: local segment ids not increasing (%d after %d)", s.ID, lastLocal)
+			}
+			lastLocal = s.ID
+		}
+	}
+	if segs[len(segs)-1].Origin != OriginLocal {
+		return fmt.Errorf("index: live segment must be local, got origin %d", segs[len(segs)-1].Origin)
 	}
 	c.archived = nil
 	c.totalLen = 0
 	c.memBytes = 0
 	for _, s := range segs {
 		cs := newChainedSub(c.factory, s.ID)
+		cs.origin = s.Origin
 		for _, t := range s.Tuples {
 			before := cs.sub.MemBytes()
 			cs.insert(t)
@@ -308,9 +338,62 @@ func (c *Chained) ImportSegments(segs []Segment) error {
 		} else {
 			c.active = cs
 		}
-		if s.ID >= c.nextID {
+		if s.Origin == OriginLocal && s.ID >= c.nextID {
 			c.nextID = s.ID + 1
 		}
 	}
 	return nil
+}
+
+type segIdent struct {
+	origin int32
+	id     uint64
+}
+
+// Graft inserts sealed foreign segments (a migration donor's exported
+// state) into the archived chain, ordered by maxTS so Expire's
+// oldest-first prefix scan keeps working. Segments whose (origin, id)
+// is already present are skipped, which makes a retried graft — after a
+// recipient crash between import and checkpoint — idempotent. It
+// returns the number of tuples actually added.
+func (c *Chained) Graft(segs []Segment) (int, error) {
+	for _, s := range segs {
+		if !s.Sealed {
+			return 0, fmt.Errorf("index: graft segment (origin %d, id %d) is not sealed", s.Origin, s.ID)
+		}
+		if s.Origin == OriginLocal {
+			return 0, fmt.Errorf("index: graft segment id %d has no origin", s.ID)
+		}
+	}
+	present := make(map[segIdent]bool, len(c.archived))
+	for _, cs := range c.archived {
+		present[segIdent{cs.origin, cs.id}] = true
+	}
+	added := 0
+	for _, s := range segs {
+		if present[segIdent{s.Origin, s.ID}] {
+			continue
+		}
+		present[segIdent{s.Origin, s.ID}] = true
+		cs := newChainedSub(c.factory, s.ID)
+		cs.origin = s.Origin
+		for _, t := range s.Tuples {
+			before := cs.sub.MemBytes()
+			cs.insert(t)
+			c.memBytes += cs.sub.MemBytes() - before
+			c.totalLen++
+		}
+		added += cs.sub.Len()
+		// Insert in maxTS order among the archived sub-indexes: Expire
+		// stops at the first unexpired maxTS, so the chain must stay
+		// sorted by it for whole-segment discards to reach stale grafts.
+		at := len(c.archived)
+		for at > 0 && !c.archived[at-1].empty && !cs.empty && c.archived[at-1].maxTS > cs.maxTS {
+			at--
+		}
+		c.archived = append(c.archived, nil)
+		copy(c.archived[at+1:], c.archived[at:])
+		c.archived[at] = cs
+	}
+	return added, nil
 }

@@ -86,15 +86,17 @@ type Core struct {
 	// (relation, seq) filter upgrades it to exactly-once processing.
 	seen *dedup.Set
 
-	received    *metrics.Counter
-	deduped     *metrics.Counter
-	stored      *metrics.Counter
-	probed      *metrics.Counter
-	comparisons *metrics.Counter
-	results     *metrics.Counter
-	expired     *metrics.Counter
-	work        *metrics.Counter
-	latency     *metrics.Histogram
+	received     *metrics.Counter
+	deduped      *metrics.Counter
+	stored       *metrics.Counter
+	probed       *metrics.Counter
+	comparisons  *metrics.Counter
+	results      *metrics.Counter
+	expired      *metrics.Counter
+	work         *metrics.Counter
+	migratedIn   *metrics.Counter
+	migratedSegs *metrics.Counter
+	latency      *metrics.Histogram
 }
 
 // MetricsPrefix returns the joiner's registry name prefix.
@@ -134,20 +136,22 @@ func NewCore(cfg Config) (*Core, error) {
 	}
 	prefix := fmt.Sprintf("joiner.%s.%d.", cfg.Rel, cfg.ID)
 	return &Core{
-		cfg:         cfg,
-		prefix:      prefix,
-		idx:         idx,
-		reorder:     protocol.NewReorderer(),
-		seen:        dedup.New(0),
-		received:    cfg.Metrics.Counter(prefix + "received"),
-		deduped:     cfg.Metrics.Counter(prefix + "dedup_suppressed"),
-		stored:      cfg.Metrics.Counter(prefix + "stored"),
-		probed:      cfg.Metrics.Counter(prefix + "probed"),
-		comparisons: cfg.Metrics.Counter(prefix + "comparisons"),
-		results:     cfg.Metrics.Counter(prefix + "results"),
-		expired:     cfg.Metrics.Counter(prefix + "expired"),
-		work:        cfg.Metrics.Counter(prefix + "work_units"),
-		latency:     cfg.Metrics.Histogram(prefix + "order_wait_ns"),
+		cfg:          cfg,
+		prefix:       prefix,
+		idx:          idx,
+		reorder:      protocol.NewReorderer(),
+		seen:         dedup.New(0),
+		received:     cfg.Metrics.Counter(prefix + "received"),
+		deduped:      cfg.Metrics.Counter(prefix + "dedup_suppressed"),
+		stored:       cfg.Metrics.Counter(prefix + "stored"),
+		probed:       cfg.Metrics.Counter(prefix + "probed"),
+		comparisons:  cfg.Metrics.Counter(prefix + "comparisons"),
+		results:      cfg.Metrics.Counter(prefix + "results"),
+		expired:      cfg.Metrics.Counter(prefix + "expired"),
+		work:         cfg.Metrics.Counter(prefix + "work_units"),
+		migratedIn:   cfg.Metrics.Counter(prefix + "migrated_in_tuples"),
+		migratedSegs: cfg.Metrics.Counter(prefix + "migrated_in_segments"),
+		latency:      cfg.Metrics.Histogram(prefix + "order_wait_ns"),
 	}, nil
 }
 
@@ -324,3 +328,27 @@ func (c *Core) Restore(snap *checkpoint.Snapshot) error {
 	c.seen = dedup.FromState(snap.Dedup)
 	return nil
 }
+
+// Graft adds a migration donor's sealed segments to this member's
+// window (live scale-in). The segments keep their donor identity
+// (origin, id), which makes a retried graft idempotent at segment
+// granularity: after a recipient crash between graft and checkpoint,
+// replaying the same segments adds nothing. The donor's dedup filter is
+// deliberately NOT merged — copies of in-flight tuples addressed to
+// this member must still process here, and segment-level identity
+// already suppresses the only duplication grafting can cause.
+func (c *Core) Graft(segs []index.Segment) error {
+	added, err := c.idx.Graft(segs)
+	if err != nil {
+		return fmt.Errorf("joiner: graft: %w", err)
+	}
+	c.migratedIn.Add(int64(added))
+	c.migratedSegs.Add(int64(len(segs)))
+	c.work.Add(int64(added))
+	return nil
+}
+
+// MinFrontier exposes the ordering protocol's release frontier: every
+// delivered envelope stamped at or below it has been released from the
+// reorder buffer and processed. Migration polls it to detect drain.
+func (c *Core) MinFrontier() uint64 { return c.reorder.MinFrontier() }

@@ -7,6 +7,7 @@ import (
 
 	"bistream/internal/broker"
 	"bistream/internal/checkpoint"
+	"bistream/internal/index"
 	"bistream/internal/metrics"
 	"bistream/internal/protocol"
 	"bistream/internal/topo"
@@ -336,6 +337,45 @@ func (s *Service) RemoveRouter(id int32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.core.RemoveRouter(id, s.emit)
+}
+
+// ErrNotDrained is returned by ExportIfDrained while the member's
+// release frontier has not yet passed the requested drain barrier.
+var ErrNotDrained = fmt.Errorf("joiner: not drained past the migration barrier")
+
+// Frontier reports the member's release frontier (minimum punctuated
+// counter over its registered router paths), serialized against the
+// consume loops.
+func (s *Service) Frontier() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.MinFrontier()
+}
+
+// ExportIfDrained atomically checks the drain barrier and snapshots the
+// member for migration: if every router path's frontier has passed
+// minStamp — i.e. every tuple stamped before the layout change has been
+// released and handled here — it returns a full snapshot of the window.
+// Otherwise it returns ErrNotDrained and the caller polls again. The
+// check and snapshot happen under one critical section, so no envelope
+// can slip in between them.
+func (s *Service) ExportIfDrained(minStamp uint64) (*checkpoint.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core.MinFrontier() < minStamp {
+		return nil, ErrNotDrained
+	}
+	return s.core.Snapshot(), nil
+}
+
+// ImportForeign grafts a migration donor's sealed segments onto this
+// member's window, serialized against the consume loops. Idempotent at
+// segment granularity (see Core.Graft); call CheckpointNow afterwards
+// so the graft is durable before the donor retires.
+func (s *Service) ImportForeign(segs []index.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.Graft(segs)
 }
 
 func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {

@@ -1,0 +1,213 @@
+package migrate
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/checkpoint"
+	"bistream/internal/faults"
+	"bistream/internal/index"
+	"bistream/internal/metrics"
+	"bistream/internal/topo"
+	"bistream/internal/tuple"
+)
+
+// fakePeer is a donor whose frontier the test controls.
+type fakePeer struct {
+	frontier atomic.Uint64
+	snap     *checkpoint.Snapshot
+}
+
+func (p *fakePeer) ExportIfDrained(minStamp uint64) (*checkpoint.Snapshot, error) {
+	if p.frontier.Load() < minStamp {
+		return nil, fmt.Errorf("not drained")
+	}
+	return p.snap, nil
+}
+func (p *fakePeer) Frontier() uint64  { return p.frontier.Load() }
+func (p *fakePeer) RetryBacklog() int { return 0 }
+
+func mkTuple(seq uint64, key int64) *tuple.Tuple {
+	return tuple.New(tuple.R, seq, int64(seq), tuple.Int(key))
+}
+
+func donorSnapshot() *checkpoint.Snapshot {
+	var archived, live []*tuple.Tuple
+	for i := uint64(1); i <= 20; i++ {
+		archived = append(archived, mkTuple(i, int64(i%4)))
+	}
+	for i := uint64(21); i <= 30; i++ {
+		live = append(live, mkTuple(i, int64(i%4)))
+	}
+	return &checkpoint.Snapshot{
+		Rel:      tuple.R,
+		JoinerID: 7,
+		Segments: []index.Segment{
+			{ID: 1, Origin: index.OriginLocal, Sealed: true, MinTS: 1, MaxTS: 20, Tuples: archived},
+			{ID: 2, Origin: index.OriginLocal, Sealed: false, MinTS: 21, MaxTS: 30, Tuples: live},
+			{ID: 3, Origin: index.OriginLocal, Sealed: true, Tuples: nil}, // empty: skipped
+		},
+	}
+}
+
+func testConfig(t *testing.T, client broker.Client, peer *fakePeer, reg *metrics.Registry) (Config, *map[int32][]index.Segment) {
+	t.Helper()
+	imported := make(map[int32][]index.Segment)
+	markedDead := false
+	cfg := Config{
+		Client:       client,
+		Metrics:      reg,
+		Rel:          tuple.R,
+		Origin:       7,
+		Attempt:      1,
+		Donor:        func() Peer { return peer },
+		DrainBarrier: 100,
+		Cursor:       func() uint64 { return 200 },
+		Assign: func(tp *tuple.Tuple) int32 {
+			// Two survivors, partitioned by key parity.
+			return int32(tp.Value(0).Hash() % 2)
+		},
+		Import: func(member int32, segs []index.Segment) error {
+			imported[member] = append(imported[member], segs...)
+			return nil
+		},
+		MarkDead: func() error { markedDead = true; return nil },
+		Timeout:  10 * time.Second,
+	}
+	t.Cleanup(func() {
+		if !markedDead {
+			t.Error("MarkDead was never called")
+		}
+	})
+	return cfg, &imported
+}
+
+// TestRunMovesEverySegment checks the happy path: the donor drains,
+// every non-empty segment (including the live one) is re-sealed,
+// streamed, and grafted; the attempt queue is deleted afterwards.
+func TestRunMovesEverySegment(t *testing.T) {
+	b := broker.New(nil)
+	defer b.Close()
+	peer := &fakePeer{snap: donorSnapshot()}
+	peer.frontier.Store(250) // past both barriers
+	reg := metrics.NewRegistry()
+	cfg, imported := testConfig(t, b, peer, reg)
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 30 {
+		t.Errorf("moved %d tuples, want 30", res.Tuples)
+	}
+	if res.CutoverBarrier != 200 {
+		t.Errorf("cut-over barrier %d, want 200", res.CutoverBarrier)
+	}
+	total := 0
+	for member, segs := range *imported {
+		for _, s := range segs {
+			if !s.Sealed || s.Origin != 7 {
+				t.Errorf("member %d got segment id=%d sealed=%v origin=%d", member, s.ID, s.Sealed, s.Origin)
+			}
+			total += len(s.Tuples)
+		}
+	}
+	if total != 30 {
+		t.Errorf("grafts hold %d tuples, want 30", total)
+	}
+	if len(*imported) != 2 {
+		t.Errorf("grafted onto %d members, want 2", len(*imported))
+	}
+	if _, err := b.QueueStats(topo.MigrateQueue(tuple.R, 7, 1)); err == nil {
+		t.Error("transfer queue still exists after Run")
+	}
+}
+
+// TestRunWaitsForDrainBarrier checks that Run blocks until the donor's
+// frontier passes the drain barrier rather than exporting early.
+func TestRunWaitsForDrainBarrier(t *testing.T) {
+	b := broker.New(nil)
+	defer b.Close()
+	peer := &fakePeer{snap: donorSnapshot()}
+	peer.frontier.Store(50) // below the drain barrier of 100
+	reg := metrics.NewRegistry()
+	cfg, _ := testConfig(t, b, peer, reg)
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		peer.frontier.Store(300)
+	}()
+	start := time.Now()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("Run returned after %v, before the donor drained", d)
+	}
+}
+
+// TestRunSurvivesLossyFabric streams the transfer over a broker that
+// drops and duplicates a third of all frames: the retransmit loop and
+// frame dedup must still complete the transfer intact.
+func TestRunSurvivesLossyFabric(t *testing.T) {
+	inner := broker.New(nil)
+	defer inner.Close()
+	reg := metrics.NewRegistry()
+	f := faults.Wrap(inner, faults.Config{
+		Seed:    42,
+		Metrics: reg,
+		PerExchange: map[string]faults.Rule{
+			topo.MigrateExchange: {Drop: 0.3, Dup: 0.3},
+		},
+	})
+	peer := &fakePeer{snap: donorSnapshot()}
+	peer.frontier.Store(250)
+	cfg, imported := testConfig(t, f, peer, reg)
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 30 {
+		t.Errorf("moved %d tuples, want 30", res.Tuples)
+	}
+	total := 0
+	for _, segs := range *imported {
+		for _, s := range segs {
+			total += len(s.Tuples)
+		}
+	}
+	if total != 30 {
+		t.Errorf("grafts hold %d tuples, want 30", total)
+	}
+	drop, _ := reg.Value("faults.drop")
+	if drop > 0 && res.Retransmits == 0 {
+		t.Error("frames were dropped but nothing was retransmitted")
+	}
+}
+
+// TestRunFailsWhenDonorDisappears checks the error path: a Donor
+// resolver returning nil fails the run instead of hanging.
+func TestRunFailsWhenDonorDisappears(t *testing.T) {
+	b := broker.New(nil)
+	defer b.Close()
+	cfg := Config{
+		Client:       b,
+		Rel:          tuple.R,
+		Origin:       7,
+		Attempt:      1,
+		Donor:        func() Peer { return nil },
+		DrainBarrier: 100,
+		Cursor:       func() uint64 { return 200 },
+		Assign:       func(*tuple.Tuple) int32 { return 0 },
+		Import:       func(int32, []index.Segment) error { return nil },
+		MarkDead:     func() error { return nil },
+		Timeout:      time.Second,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run succeeded with no donor")
+	}
+}

@@ -290,6 +290,13 @@ func (r *Reorderer) Retire(routerID int32, source Source) []Envelope {
 	return r.release()
 }
 
+// MinFrontier reports the smallest punctuated counter over registered
+// router paths (0 when none are registered). Migration uses it as the
+// drain barrier: once every path's frontier passes the layout-change
+// cursor, every tuple stamped before the change has been released and
+// processed here.
+func (r *Reorderer) MinFrontier() uint64 { return r.minFrontier() }
+
 // minFrontier computes the smallest punctuated counter over registered
 // routers; envelopes at or below it are safe to process.
 func (r *Reorderer) minFrontier() uint64 {

@@ -119,6 +119,18 @@ func (c *Core) SetLayout(rel tuple.Relation, members []int32, subgroups int, now
 // Members returns the current layout of one relation's group.
 func (c *Core) Members(rel tuple.Relation) []int32 { return c.groups[rel].Members() }
 
+// RetireMember marks a migrated-away joiner dead in one relation's
+// group: it keeps its slot in draining generations (subgroup geometry
+// is positional) but stops receiving join fan-out. Call only after its
+// state has been grafted onto the current layout's survivors.
+func (c *Core) RetireMember(rel tuple.Relation, id int32) { c.groups[rel].MarkDead(id) }
+
+// StampCursor returns the stamper's last issued counter. Because the
+// service stamps and publishes as one atomic step, every tuple stamped
+// at or below the cursor has already been handed to the broker — the
+// property migration's drain barriers are built on.
+func (c *Core) StampCursor() uint64 { return c.stamper.Current() }
+
 // Route stamps the tuple and computes its destinations: exactly one
 // store copy on the tuple's own side and one join copy per opposite
 // joiner that may hold matches. now is the current (virtual) time used

@@ -161,6 +161,24 @@ func (s *Service) SetLayout(rel tuple.Relation, members []int32, subgroups int, 
 	return s.core.SetLayout(rel, members, subgroups, nowTS)
 }
 
+// RetireMember forwards a dead-member mark to the core, serialized
+// against the routing loop: once it returns, no future fan-out of this
+// router targets the member.
+func (s *Service) RetireMember(rel tuple.Relation, id int32) {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	s.core.RetireMember(rel, id)
+}
+
+// StampCursor reads the core stamper's cursor under coreMu, so every
+// stamp at or below the returned value has been published (stamping and
+// publishing are one atomic step in the route loop).
+func (s *Service) StampCursor() uint64 {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	return s.core.StampCursor()
+}
+
 // Stats snapshots the core's counters, serialized against the routing
 // loop.
 func (s *Service) Stats() Stats {

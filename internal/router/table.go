@@ -24,6 +24,11 @@ type Group struct {
 	// retireSlack widens the drain horizon to absorb event-time skew
 	// between routing time and tuple timestamps.
 	retireSlackMS int64
+	// dead marks members whose state has been migrated away: they keep
+	// their positional slot in old generations (so subgroup geometry is
+	// undisturbed) but are filtered out of join fan-out — their tuples
+	// now live on the members the shrunk current layout hashes to.
+	dead map[int32]bool
 }
 
 type generation struct {
@@ -107,6 +112,18 @@ func (g *Group) Members() []int32 {
 // draining retirees).
 func (g *Group) Generations() int { return len(g.gens) }
 
+// MarkDead excludes a migrated-away member from all join fan-out, past
+// and future generations alike. It must only be called after the
+// member's state has been grafted onto survivors of the current layout;
+// from then on the current generation's subgroup fan-out covers what
+// the old generations would have found on the dead member.
+func (g *Group) MarkDead(id int32) {
+	if g.dead == nil {
+		g.dead = make(map[int32]bool)
+	}
+	g.dead[id] = true
+}
+
 // prune drops retired generations whose stored tuples are all expired:
 // a tuple stored under a generation has event time <= retiredTS, so by
 // Theorem 1 everything is gone once nowTS - retiredTS > W (+ slack).
@@ -185,7 +202,7 @@ func (g *Group) JoinTargets(hash uint64, partitionable bool, nowTS int64) ([]int
 			members = gen.members
 		}
 		for _, m := range members {
-			if !seen[m] {
+			if !seen[m] && !g.dead[m] {
 				seen[m] = true
 				out = append(out, m)
 			}

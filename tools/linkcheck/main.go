@@ -1,0 +1,95 @@
+// Command linkcheck verifies that every relative link in the
+// repository's markdown files resolves to an existing file or
+// directory. External links (http/https/mailto) and pure #fragment
+// anchors are skipped — the gate is about keeping the internal doc
+// graph (README → docs/ → EXPERIMENTS.md → ...) unbroken as files
+// move, not about probing the network from CI.
+//
+// Usage: go run ./tools/linkcheck [root]   (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); images share
+// the same syntax with a leading bang the capture ignores.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// skipDirs are trees not part of the documentation graph.
+var skipDirs = map[string]bool{".git": true, "testdata": true}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(1)
+	}
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !checkable(target) {
+					continue
+				}
+				if frag := strings.IndexByte(target, '#'); frag >= 0 {
+					target = target[:frag]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q\n", f, i+1, m[1])
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkable reports whether a link target is a relative path this
+// tool should verify on disk.
+func checkable(target string) bool {
+	switch {
+	case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+		return false
+	case strings.HasPrefix(target, "#"):
+		return false
+	}
+	return true
+}
