@@ -6,7 +6,7 @@
 //
 //	bistream run [-predicate 'equi(0,0)'] [-rate 300] [-duration 10s] ...
 //	bistream status
-//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|all}
+//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|brokerfail|all}
 package main
 
 import (
@@ -49,7 +49,7 @@ func usage() {
   bistream run    [flags]   run a self-contained engine on a synthetic workload
   bistream status           print the Figure 14/16/17/18/19 deployment tables
   bistream exp    <name>    regenerate an experiment:
-                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap all
+                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap brokerfail all
 `)
 	os.Exit(2)
 }
@@ -185,7 +185,7 @@ func cmdExp(args []string) {
 		usage()
 	}
 	if names[0] == "all" {
-		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "fig20", "fig21", "heap"}
+		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "fig20", "fig21", "heap", "brokerfail"}
 	}
 	for _, name := range names {
 		if err := runExperiment(name, *csvDir); err != nil {
@@ -294,6 +294,14 @@ func runExperiment(name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatScaleIn(res))
+	case "brokerfail":
+		fmt.Println("=== E12: replicated broker log — quorum cost and leader failover ===")
+		cfg := experiments.DefaultBrokerFailConfig()
+		res, err := experiments.RunBrokerFail(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBrokerFail(res, cfg))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -8,17 +8,30 @@
 // Prometheus text at /metrics (per-queue depth and broker totals), a
 // JSON snapshot at /debug/vars, and net/http/pprof profiles.
 //
+// With -node-id the daemon joins a replicated broker group instead of
+// serving alone: the segmented journal is streamed to follower peers,
+// publishes are acknowledged only at the commit quorum, and a
+// term-based election promotes the most caught-up follower when the
+// leader dies. Clients list every member address and probe their way to
+// the leader (see docs/OPERATIONS.md, "Broker replication & failover").
+//
 // Usage:
 //
 //	brokerd [-addr :5672] [-mgmt :15672] [-data /var/lib/brokerd]
+//	brokerd -node-id n1 -data /var/lib/brokerd-n1 -addr :5672 \
+//	        -repl-addr :6672 -peers n1=host1:6672,n2=host2:6672,n3=host3:6672 \
+//	        [-quorum 2] [-heartbeat 25ms] [-lease 150ms] [-segment-bytes N]
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
+	"time"
 
 	"bistream/internal/broker"
+	"bistream/internal/broker/replica"
 	"bistream/internal/metrics"
 	"bistream/internal/obs"
 	"bistream/internal/wire"
@@ -28,8 +41,22 @@ func main() {
 	addr := flag.String("addr", ":5672", "wire protocol listen address")
 	mgmt := flag.String("mgmt", ":15672", "management + metrics HTTP address (empty to disable)")
 	data := flag.String("data", "", "journal directory for durable queues (empty = in-memory only)")
+	nodeID := flag.String("node-id", "", "replica node id; non-empty enables replicated mode")
+	replAddr := flag.String("repl-addr", "", "replication/vote listen address (replicated mode)")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port replication peers, own entry included")
+	quorum := flag.Int("quorum", 0, "publish commit quorum incl. the leader (0 = majority)")
+	heartbeat := flag.Duration("heartbeat", 0, "leader heartbeat interval (0 = default 25ms)")
+	lease := flag.Duration("lease", 0, "follower lease timeout (0 = default 150ms)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "journal segment rollover size (0 = default)")
 	flag.Parse()
 	log.SetPrefix("brokerd: ")
+
+	if *nodeID != "" {
+		runReplica(*nodeID, *addr, *mgmt, *data, *replAddr, *peersFlag,
+			*quorum, *heartbeat, *lease, *segmentBytes)
+		return
+	}
+
 	var b *broker.Broker
 	if *data != "" {
 		var err error
@@ -56,4 +83,60 @@ func main() {
 	if err := wire.ListenAndServe(*addr, b); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runReplica starts this daemon as one member of a replicated broker
+// group and blocks for its lifetime.
+func runReplica(id, addr, mgmt, data, replAddr, peersFlag string,
+	quorum int, heartbeat, lease time.Duration, segmentBytes int64) {
+	if data == "" {
+		log.Fatal("replicated mode requires -data (the journal is what gets replicated)")
+	}
+	if replAddr == "" || peersFlag == "" {
+		log.Fatal("replicated mode requires -repl-addr and -peers")
+	}
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(peersFlag, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || k == "" || v == "" {
+			log.Fatalf("bad -peers entry %q (want id=host:port)", entry)
+		}
+		peers[k] = v
+	}
+	reg := metrics.NewRegistry()
+	node, err := replica.NewNode(replica.Config{
+		ID:                id,
+		Dir:               data,
+		ClientAddr:        addr,
+		ReplAddr:          replAddr,
+		Peers:             peers,
+		Quorum:            quorum,
+		HeartbeatInterval: heartbeat,
+		LeaseTimeout:      lease,
+		MaxSegmentBytes:   segmentBytes,
+		Logf:              log.Printf,
+		Metrics:           reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replica %s serving clients on %v, replication on %v (%d peers, quorum %d)",
+		id, node.ClientAddr(), node.ReplAddr(), len(peers), quorum)
+	if mgmt != "" {
+		// The broker behind the mgmt API exists only while this node
+		// leads; the replica.* gauges and counters in the registry are
+		// always live.
+		mux := http.NewServeMux()
+		obs.Register(mux, reg)
+		go func() {
+			log.Printf("replica metrics on %s", mgmt)
+			if err := http.ListenAndServe(mgmt, mux); err != nil {
+				log.Printf("management API: %v", err)
+			}
+		}()
+	}
+	select {} // the node runs until the process dies
 }

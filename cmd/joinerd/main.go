@@ -7,6 +7,11 @@
 //
 //	joinerd -broker localhost:5672 -relation R -id 0 \
 //	        -predicate 'equi(0,0)' -window 10m -routers 0,1
+//
+// Against a replicated broker group, list every member address and the
+// client probes its way to the current leader:
+//
+//	joinerd -broker host1:5672,host2:5672,host3:5672 ...
 package main
 
 import (
@@ -30,7 +35,7 @@ import (
 
 func main() {
 	var (
-		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address")
+		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address, or comma-separated replica group addresses")
 		relFlag     = flag.String("relation", "R", "relation this joiner stores: R or S")
 		id          = flag.Int("id", 0, "member id within the relation's group")
 		predSpec    = flag.String("predicate", "equi(0,0)", "join predicate")
@@ -64,7 +69,7 @@ func main() {
 	// backoff when it restarts, and detect half-open TCP via heartbeat,
 	// instead of exiting on the first dial failure.
 	client, err := wire.Connect(wire.Config{
-		Addr:      *brokerAddr,
+		Addrs:     strings.Split(*brokerAddr, ","),
 		Reconnect: true,
 		Heartbeat: time.Second,
 		Metrics:   reg,

@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"bistream/internal/metrics"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address")
+		brokerAddr  = flag.String("broker", "localhost:5672", "brokerd address, or comma-separated replica group addresses")
 		id          = flag.Int("id", 0, "router id (unique per instance)")
 		predSpec    = flag.String("predicate", "equi(0,0)", "join predicate: equi(i,j), band(i,j,w), theta(i,op,j)")
 		winSpan     = flag.Duration("window", 10*time.Minute, "sliding window span")
@@ -56,7 +57,7 @@ func main() {
 	// backoff when it restarts, and detect half-open TCP via heartbeat,
 	// instead of exiting on the first dial failure.
 	client, err := wire.Connect(wire.Config{
-		Addr:      *brokerAddr,
+		Addrs:     strings.Split(*brokerAddr, ","),
 		Reconnect: true,
 		Heartbeat: time.Second,
 		Metrics:   reg,

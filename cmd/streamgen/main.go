@@ -12,6 +12,7 @@ import (
 	"flag"
 	"log"
 	"math/rand"
+	"strings"
 	"time"
 
 	"bistream/internal/broker"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address")
+		brokerAddr = flag.String("broker", "localhost:5672", "brokerd address, or comma-separated replica group addresses")
 		rate       = flag.Float64("rate", 300, "combined tuples/second over both relations")
 		duration   = flag.Duration("duration", time.Minute, "how long to generate")
 		keys       = flag.Int64("keys", 100_000, "join-attribute domain size")
@@ -55,7 +56,7 @@ func main() {
 	}
 	// Supervised connection: wait for brokerd, reconnect on restarts.
 	client, err := wire.Connect(wire.Config{
-		Addr:      *brokerAddr,
+		Addrs:     strings.Split(*brokerAddr, ","),
 		Reconnect: true,
 		Heartbeat: time.Second,
 		Logf:      log.Printf,

@@ -191,6 +191,11 @@ type Broker struct {
 	exchanges map[string]*exchange
 	queues    map[string]*queue
 	anonSeq   atomic.Uint64
+
+	// gate, when set, blocks publishes until their records are
+	// replicated to a quorum; see SetCommitGate in repl.go.
+	gateMu sync.RWMutex
+	gate   func(ctx context.Context, lsn uint64) error
 }
 
 // New creates a broker. A nil clock defaults to the wall clock.
@@ -205,13 +210,27 @@ func New(clock vclock.Clock) *Broker {
 	}
 }
 
-// NewDurable creates a broker backed by an append-only journal in dir,
-// replaying any state a previous instance left behind: exchanges,
-// durable queues, bindings, and the unsettled messages of durable
-// queues (at-least-once across restarts).
+// DurableOptions tunes a durable broker.
+type DurableOptions struct {
+	// MaxSegmentBytes is the rollover size of the journal's segment
+	// files; zero selects DefaultMaxSegmentBytes. Smaller segments mean
+	// finer-grained truncation of settled traffic at the cost of more
+	// files.
+	MaxSegmentBytes int64
+}
+
+// NewDurable creates a broker backed by a segmented append-only
+// journal in dir, replaying any state a previous instance left behind:
+// exchanges, durable queues, bindings, and the unsettled messages of
+// durable queues (at-least-once across restarts).
 func NewDurable(clock vclock.Clock, dir string) (*Broker, error) {
+	return NewDurableWith(clock, dir, DurableOptions{})
+}
+
+// NewDurableWith is NewDurable with explicit options.
+func NewDurableWith(clock vclock.Clock, dir string, opts DurableOptions) (*Broker, error) {
 	b := New(clock)
-	log, state, err := openJournal(dir)
+	log, state, err := openJournal(dir, opts.MaxSegmentBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -501,9 +520,21 @@ func (b *Broker) PublishContext(ctx context.Context, exchangeName, routingKey st
 		}
 	}
 	ex.mu.RUnlock()
+	var maxLSN uint64
 	for _, q := range targets {
-		if err := q.enqueueCtx(ctx, msg); err != nil && !errors.Is(err, ErrClosed) {
+		lsn, err := q.enqueueCtx(ctx, msg)
+		if err != nil && !errors.Is(err, ErrClosed) {
 			return err
+		}
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+	}
+	// Quorum gate: on a replicated leader the publish is acknowledged
+	// only once its journal records are safe on a quorum of replicas.
+	if maxLSN > 0 {
+		if gate := b.commitGate(); gate != nil {
+			return gate(ctx, maxLSN)
 		}
 	}
 	return nil

@@ -4,26 +4,34 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
 // Durability. The text highlights the binder's durable consumer-group
 // subscriptions: "the group will receive messages even if they are sent
 // while all applications in the group are stopped". The in-process
-// broker supports the same through an append-only journal: declares,
-// binds, enqueues into durable queues and settlements are logged;
-// reopening the journal replays them, so messages published while no
-// consumer was attached — or not yet acknowledged at shutdown — survive
-// a broker restart.
+// broker supports the same through an append-only log: declares, binds,
+// enqueues into durable queues and settlements are logged; reopening
+// the log replays them, so messages published while no consumer was
+// attached — or not yet acknowledged at shutdown — survive a broker
+// restart.
+//
+// The log is segmented (see segment.go): topology records live under
+// dir/meta, each durable queue's enqueue/settle records under
+// dir/topics/<queue>, all rolling over at MaxSegmentBytes and stamped
+// with a journal-wide LSN. Fully settled segments are reclaimed online
+// (prefix truncation per topic); the whole log is additionally
+// compacted on open. Earlier versions kept one monolithic
+// dir/broker.journal — openJournal migrates such a file into the
+// segmented layout and removes it.
 //
 // Semantics: at-least-once. A message that was requeued (Nack) and
 // later settled may, across a crash, be redelivered once more —
-// matching real AMQP brokers. The journal is compacted on open
-// (declares + surviving messages only) and flushed per record; fsync is
+// matching real AMQP brokers. Records are flushed per append; fsync is
 // left to the OS, as RabbitMQ's default publish path does without
 // publisher confirms.
 
@@ -41,14 +49,26 @@ const (
 // skips it.
 var errCorruptRecord = errors.New("broker: corrupt journal record")
 
+// journal names inside the broker data directory.
+const (
+	metaDirName    = "meta"
+	topicsDirName  = "topics"
+	legacyFileName = "broker.journal"
+)
+
 type journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	path string
+	mu     sync.Mutex
+	dir    string
+	maxSeg int64
+	meta   *segLog              // topology records
+	topics map[string]*topicLog // durable queue name -> its segmented log
+	lsn    uint64               // last assigned journal-wide LSN
+
+	taps   map[uint64]chan ReplRecord // live replication taps
+	tapSeq uint64
 }
 
-// journalState is the replayed content of a journal file.
+// journalState is the replayed content of a journal.
 type journalState struct {
 	exchanges []recExchange
 	queues    []recQueue
@@ -102,26 +122,204 @@ type recBinding struct {
 	queue, exchange, key string
 }
 
-// openJournal loads (and compacts) an existing journal, returning the
-// replayed state and an open handle positioned for appending.
-func openJournal(dir string) (*journal, *journalState, error) {
+// stateBuilder folds journal records, in log order, into a
+// journalState. Both the segmented replay (records sorted by LSN) and
+// the legacy single-file replay (file order) feed it.
+type stateBuilder struct {
+	state   *journalState
+	replays map[string]*qReplay
+}
+
+func newStateBuilder() *stateBuilder {
+	return &stateBuilder{
+		state:   &journalState{messages: make(map[string][]Message)},
+		replays: make(map[string]*qReplay),
+	}
+}
+
+func (sb *stateBuilder) queueReplay(name string) *qReplay {
+	qr := sb.replays[name]
+	if qr == nil {
+		qr = &qReplay{}
+		sb.replays[name] = qr
+	}
+	return qr
+}
+
+// apply folds one record into the state. Records that do not parse are
+// skipped, consistent with the torn-tail tolerance of the file layer.
+func (sb *stateBuilder) apply(rec []byte) {
+	if len(rec) == 0 {
+		return
+	}
+	state := sb.state
+	rd := &reader{buf: rec[1:]}
+	switch rec[0] {
+	case recDeclareExchange:
+		name := rd.string()
+		kind := ExchangeKind(rd.byte())
+		if rd.err == nil {
+			state.exchanges = append(state.exchanges, recExchange{name, kind})
+		}
+	case recDeclareQueue:
+		name := rd.string()
+		opts := QueueOptions{
+			AutoDelete: rd.bool(),
+			MaxLen:     int(rd.uvarint()),
+			Durable:    true,
+		}
+		if rd.err == nil {
+			// MaxRedeliver is stored shifted by one so that the
+			// unlimited sentinel (-1) journals as zero; journals from
+			// before the field default it (absent → 0 → default).
+			if len(rd.buf) > 0 {
+				opts.MaxRedeliver = int(rd.uvarint()) - 1
+			}
+		}
+		if rd.err == nil {
+			state.queues = append(state.queues, recQueue{name, opts})
+		}
+	case recBind:
+		q, ex, key := rd.string(), rd.string(), rd.string()
+		if rd.err == nil {
+			state.binds = append(state.binds, recBinding{q, ex, key})
+		}
+	case recEnqueue:
+		q := rd.string()
+		id := rd.uvarint()
+		msg := Message{
+			Exchange:   rd.string(),
+			RoutingKey: rd.string(),
+			Headers:    rd.headers(),
+			Body:       rd.bytes(),
+		}
+		if rd.err == nil {
+			sb.queueReplay(q).enqueue(id, msg)
+		}
+	case recSettle:
+		q := rd.string()
+		id := rd.uvarint()
+		if rd.err == nil {
+			sb.queueReplay(q).settle(id)
+		}
+	case recDeleteQueue:
+		name := rd.string()
+		if rd.err == nil {
+			kept := state.queues[:0]
+			for _, q := range state.queues {
+				if q.name != name {
+					kept = append(kept, q)
+				}
+			}
+			state.queues = kept
+			keptB := state.binds[:0]
+			for _, bd := range state.binds {
+				if bd.queue != name {
+					keptB = append(keptB, bd)
+				}
+			}
+			state.binds = keptB
+			delete(sb.replays, name)
+		}
+	default:
+		// Unknown record from a future version: skip.
+	}
+}
+
+func (sb *stateBuilder) finish() *journalState {
+	for q, qr := range sb.replays {
+		if live := qr.live(); len(live) > 0 {
+			sb.state.messages[q] = live
+		}
+	}
+	return sb.state
+}
+
+// openJournal loads (and compacts) an existing journal directory,
+// returning the replayed state and an open journal positioned for
+// appending. Compaction wipes the segment directories and rewrites
+// only the topology records; the caller re-enqueues the surviving
+// messages through the normal (journaled) path, which assigns them
+// fresh ids. The new LSN sequence continues above the highest replayed
+// LSN, so LSNs stay monotonic across restarts — replication positions
+// and failover catch-up comparisons depend on that.
+func openJournal(dir string, maxSeg int64) (*journal, *journalState, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("broker: journal dir: %w", err)
+		return nil, nil, err
 	}
-	path := filepath.Join(dir, "broker.journal")
-	state, err := replayJournal(path)
+	if maxSeg <= 0 {
+		maxSeg = DefaultMaxSegmentBytes
+	}
+	metaDir := filepath.Join(dir, metaDirName)
+	topicsDir := filepath.Join(dir, topicsDirName)
+	legacyPath := filepath.Join(dir, legacyFileName)
+
+	sb := newStateBuilder()
+	var maxLSN uint64
+	if _, err := os.Stat(metaDir); err == nil {
+		// Segmented layout: merge-replay every log in LSN order, so
+		// interleavings like declare/enqueue/delete-queue/redeclare
+		// resolve exactly as they happened.
+		type replayRec struct {
+			lsn uint64
+			rec []byte
+		}
+		var all []replayRec
+		collect := func(logDir string) error {
+			l, err := openSegLog(logDir, maxSeg)
+			if err != nil {
+				return err
+			}
+			defer l.close()
+			return l.replay(func(lsn uint64, rec []byte, _ uint64) error {
+				if lsn > maxLSN {
+					maxLSN = lsn
+				}
+				all = append(all, replayRec{lsn, rec})
+				return nil
+			})
+		}
+		if err := collect(metaDir); err != nil {
+			return nil, nil, err
+		}
+		if entries, err := os.ReadDir(topicsDir); err == nil {
+			for _, e := range entries {
+				if !e.IsDir() {
+					continue
+				}
+				if err := collect(filepath.Join(topicsDir, e.Name())); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
+		for _, r := range all {
+			sb.apply(r.rec)
+		}
+	} else if err := replayLegacyJournal(legacyPath, sb); err != nil {
+		return nil, nil, err
+	}
+	state := sb.finish()
+
+	// Compact: wipe the directories and rewrite the topology records.
+	if err := os.RemoveAll(metaDir); err != nil {
+		return nil, nil, err
+	}
+	if err := os.RemoveAll(topicsDir); err != nil {
+		return nil, nil, err
+	}
+	meta, err := openSegLog(metaDir, maxSeg)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Compact: rewrite the topology records; the caller re-enqueues the
-	// surviving messages through the normal (journaled) path, which
-	// assigns them fresh ids in the new file.
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, nil, err
+	j := &journal{
+		dir:    dir,
+		maxSeg: maxSeg,
+		meta:   meta,
+		topics: make(map[string]*topicLog),
+		lsn:    maxLSN,
+		taps:   make(map[uint64]chan ReplRecord),
 	}
-	j := &journal{f: f, w: bufio.NewWriter(f), path: path}
 	for _, ex := range state.exchanges {
 		j.logDeclareExchange(ex.name, ex.kind)
 	}
@@ -131,128 +329,38 @@ func openJournal(dir string) (*journal, *journalState, error) {
 	for _, bd := range state.binds {
 		j.logBind(bd.queue, bd.exchange, bd.key)
 	}
-	if err := j.w.Flush(); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
+	os.Remove(legacyPath) // migration complete; ignore "not exists"
 	return j, state, nil
 }
 
-// replayJournal parses the journal, tolerating a truncated final record
-// (a crash mid-append).
-func replayJournal(path string) (*journalState, error) {
-	state := &journalState{messages: make(map[string][]Message)}
+// replayLegacyJournal parses a pre-segmentation monolithic journal
+// file into sb. Any truncated or undecodable tail — including corrupt
+// length bytes from a torn header — is treated as a clean end-of-log:
+// a crash during append tears exactly the final record, and recovery
+// must keep everything before it.
+func replayLegacyJournal(path string, sb *stateBuilder) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return state, nil
+		return nil
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	replays := map[string]*qReplay{}
-	queueReplay := func(name string) *qReplay {
-		qr := replays[name]
-		if qr == nil {
-			qr = &qReplay{}
-			replays[name] = qr
-		}
-		return qr
-	}
 	r := bufio.NewReader(f)
 	for {
 		rec, err := readRecord(r)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				break // truncated tail: drop it
-			}
-			return nil, err
+			break // io.EOF or a torn tail: clean end of log
 		}
-		rd := &reader{buf: rec[1:]}
-		switch rec[0] {
-		case recDeclareExchange:
-			name := rd.string()
-			kind := ExchangeKind(rd.byte())
-			if rd.err == nil {
-				state.exchanges = append(state.exchanges, recExchange{name, kind})
-			}
-		case recDeclareQueue:
-			name := rd.string()
-			opts := QueueOptions{
-				AutoDelete: rd.bool(),
-				MaxLen:     int(rd.uvarint()),
-				Durable:    true,
-			}
-			if rd.err == nil {
-				// MaxRedeliver is stored shifted by one so that the
-				// unlimited sentinel (-1) journals as zero; journals from
-				// before the field default it (absent → 0 → default).
-				if len(rd.buf) > 0 {
-					opts.MaxRedeliver = int(rd.uvarint()) - 1
-				}
-			}
-			if rd.err == nil {
-				state.queues = append(state.queues, recQueue{name, opts})
-			}
-		case recBind:
-			q, ex, key := rd.string(), rd.string(), rd.string()
-			if rd.err == nil {
-				state.binds = append(state.binds, recBinding{q, ex, key})
-			}
-		case recEnqueue:
-			q := rd.string()
-			id := rd.uvarint()
-			msg := Message{
-				Exchange:   rd.string(),
-				RoutingKey: rd.string(),
-				Headers:    rd.headers(),
-				Body:       rd.bytes(),
-			}
-			if rd.err == nil {
-				queueReplay(q).enqueue(id, msg)
-			}
-		case recSettle:
-			q := rd.string()
-			id := rd.uvarint()
-			if rd.err == nil {
-				queueReplay(q).settle(id)
-			}
-		case recDeleteQueue:
-			name := rd.string()
-			if rd.err == nil {
-				kept := state.queues[:0]
-				for _, q := range state.queues {
-					if q.name != name {
-						kept = append(kept, q)
-					}
-				}
-				state.queues = kept
-				keptB := state.binds[:0]
-				for _, bd := range state.binds {
-					if bd.queue != name {
-						keptB = append(keptB, bd)
-					}
-				}
-				state.binds = keptB
-				delete(replays, name)
-			}
-		default:
-			// Unknown record from a future version: skip.
-		}
+		sb.apply(rec)
 	}
-	for q, qr := range replays {
-		if live := qr.live(); len(live) > 0 {
-			state.messages[q] = live
-		}
-	}
-	return state, nil
+	return nil
 }
 
-// readRecord reads one length-prefixed record.
+// readRecord reads one length-prefixed legacy record. A length field
+// that cannot be a real record (zero, or beyond the bound) is reported
+// as io.ErrUnexpectedEOF: torn tail, not fatal corruption.
 func readRecord(r *bufio.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -260,7 +368,7 @@ func readRecord(r *bufio.Reader) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 || n > maxJournalRecord {
-		return nil, fmt.Errorf("broker: corrupt journal record of %d bytes", n)
+		return nil, io.ErrUnexpectedEOF
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -271,27 +379,126 @@ func readRecord(r *bufio.Reader) ([]byte, error) {
 
 const maxJournalRecord = 16 << 20
 
-func (j *journal) append(rec []byte) {
+// appendMeta writes one topology record, assigning its LSN.
+func (j *journal) appendMeta(rec []byte) uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
-	j.w.Write(hdr[:])
-	j.w.Write(rec)
-	j.w.Flush()
+	j.lsn++
+	j.meta.append(j.lsn, rec) // best-effort, like the pre-segment journal
+	j.emitLocked(ReplRecord{LSN: j.lsn, Payload: rec})
+	return j.lsn
+}
+
+// appendTopic writes one enqueue/settle record into the queue's topic
+// log, assigning its LSN and advancing the truncation frontier.
+func (j *journal) appendTopic(queue string, rec []byte) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lsn++
+	tl := j.topics[queue]
+	if tl == nil {
+		sl, err := openSegLog(j.topicDir(queue), j.maxSeg)
+		if err != nil {
+			return j.lsn // unjournaled: best-effort, matching append errors
+		}
+		tl = newTopicLog(sl)
+		j.topics[queue] = tl
+	}
+	if segID, err := tl.log.append(j.lsn, rec); err == nil {
+		tl.track(rec, segID)
+	}
+	j.emitLocked(ReplRecord{LSN: j.lsn, Topic: queue, Payload: rec})
+	return j.lsn
+}
+
+func (j *journal) topicDir(queue string) string {
+	return filepath.Join(j.dir, topicsDirName, topicDirName(queue))
+}
+
+// emitLocked fans a committed record out to the live replication taps.
+// A tap too slow to keep up is closed and dropped — the follower
+// detects the closed channel and resynchronizes from a fresh snapshot,
+// which is always safe and never blocks the publish path.
+func (j *journal) emitLocked(rec ReplRecord) {
+	for id, ch := range j.taps {
+		select {
+		case ch <- rec:
+		default:
+			close(ch)
+			delete(j.taps, id)
+		}
+	}
+}
+
+// subscribe returns a consistent snapshot of every record currently in
+// the log (sorted by LSN) plus a live tap that receives all records
+// appended after the snapshot. cancel detaches the tap.
+func (j *journal) subscribe(buf int) ([]ReplRecord, <-chan ReplRecord, func(), error) {
+	if buf < 1 {
+		buf = 1024
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var snap []ReplRecord
+	collect := func(l *segLog, topic string) error {
+		return l.replay(func(lsn uint64, rec []byte, _ uint64) error {
+			snap = append(snap, ReplRecord{LSN: lsn, Topic: topic, Payload: rec})
+			return nil
+		})
+	}
+	if err := collect(j.meta, ""); err != nil {
+		return nil, nil, nil, err
+	}
+	for q, tl := range j.topics {
+		if err := collect(tl.log, q); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	sort.Slice(snap, func(i, k int) bool { return snap[i].LSN < snap[k].LSN })
+	ch := make(chan ReplRecord, buf)
+	id := j.tapSeq
+	j.tapSeq++
+	j.taps[id] = ch
+	cancel := func() {
+		j.mu.Lock()
+		if _, ok := j.taps[id]; ok {
+			delete(j.taps, id)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+	return snap, ch, cancel, nil
+}
+
+// lastLSN reports the highest assigned LSN.
+func (j *journal) lastLSN() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lsn
 }
 
 func (j *journal) logDeclareExchange(name string, kind ExchangeKind) {
 	rec := []byte{recDeclareExchange}
 	rec = appendString(rec, name)
 	rec = append(rec, byte(kind))
-	j.append(rec)
+	j.appendMeta(rec)
 }
 
+// logDeleteQueue journals the deletion and reclaims the queue's topic
+// log wholesale — every record in it is dead past the delete.
 func (j *journal) logDeleteQueue(name string) {
 	rec := []byte{recDeleteQueue}
 	rec = appendString(rec, name)
-	j.append(rec)
+	j.mu.Lock()
+	j.lsn++
+	j.meta.append(j.lsn, rec)
+	if tl := j.topics[name]; tl != nil {
+		tl.log.close()
+		os.RemoveAll(tl.log.dir)
+		delete(j.topics, name)
+	}
+	j.emitLocked(ReplRecord{LSN: j.lsn, Payload: rec})
+	j.mu.Unlock()
 }
 
 func (j *journal) logDeclareQueue(name string, opts QueueOptions) {
@@ -300,7 +507,7 @@ func (j *journal) logDeclareQueue(name string, opts QueueOptions) {
 	rec = append(rec, boolByte(opts.AutoDelete))
 	rec = binary.AppendUvarint(rec, uint64(opts.MaxLen))
 	rec = binary.AppendUvarint(rec, uint64(opts.MaxRedeliver+1))
-	j.append(rec)
+	j.appendMeta(rec)
 }
 
 func (j *journal) logBind(queue, exchange, key string) {
@@ -308,10 +515,10 @@ func (j *journal) logBind(queue, exchange, key string) {
 	rec = appendString(rec, queue)
 	rec = appendString(rec, exchange)
 	rec = appendString(rec, key)
-	j.append(rec)
+	j.appendMeta(rec)
 }
 
-func (j *journal) logEnqueue(queue string, id uint64, msg Message) {
+func (j *journal) logEnqueue(queue string, id uint64, msg Message) uint64 {
 	rec := []byte{recEnqueue}
 	rec = appendString(rec, queue)
 	rec = binary.AppendUvarint(rec, id)
@@ -319,19 +526,28 @@ func (j *journal) logEnqueue(queue string, id uint64, msg Message) {
 	rec = appendString(rec, msg.RoutingKey)
 	rec = appendHeaders(rec, msg.Headers)
 	rec = appendBytes(rec, msg.Body)
-	j.append(rec)
+	return j.appendTopic(queue, rec)
 }
 
 func (j *journal) logSettle(queue string, id uint64) {
 	rec := []byte{recSettle}
 	rec = appendString(rec, queue)
 	rec = binary.AppendUvarint(rec, id)
-	j.append(rec)
+	j.appendTopic(queue, rec)
 }
 
 func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.w.Flush()
-	return j.f.Close()
+	for id, ch := range j.taps {
+		close(ch)
+		delete(j.taps, id)
+	}
+	err := j.meta.close()
+	for _, tl := range j.topics {
+		if cerr := tl.log.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

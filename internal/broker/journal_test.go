@@ -163,14 +163,52 @@ func TestDurableRejectsDurableAutoDelete(t *testing.T) {
 	}
 }
 
+// lastSegment returns the path of the newest segment file under the
+// given log directory.
+func lastSegment(t *testing.T, logDir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".seg" && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatalf("no segment files in %s", logDir)
+	}
+	return filepath.Join(logDir, last)
+}
+
+// journalSize sums the bytes of every journal file under dir.
+func journalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
 func TestDurableToleratesTruncatedTail(t *testing.T) {
 	dir := t.TempDir()
 	b := durableBroker(t, dir)
 	declareDurable(t, b, "ex", "q")
 	b.Publish("ex", "", nil, []byte("keep"))
+	b.Publish("ex", "", nil, []byte("torn"))
 	b.Close()
-	// Simulate a crash mid-append: chop bytes off the journal tail.
-	path := filepath.Join(dir, "broker.journal")
+	// Simulate a crash mid-append: chop bytes off the tail of the
+	// queue's newest segment, tearing the final enqueue record.
+	path := lastSegment(t, filepath.Join(dir, "topics", "q"))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -180,9 +218,108 @@ func TestDurableToleratesTruncatedTail(t *testing.T) {
 	}
 	b2 := durableBroker(t, dir)
 	defer b2.Close()
-	// The truncated record (the publish) is lost; topology survives.
+	// The torn record (the second publish) is lost; everything before
+	// it — topology and the first message — survives.
 	if err := b2.DeclareQueue("q", QueueOptions{Durable: true}); err != nil {
 		t.Errorf("queue lost after truncation: %v", err)
+	}
+	c, err := b2.Consume("q", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := drain(t, c, 1, 2*time.Second)[0]
+	if string(d.Body) != "keep" {
+		t.Errorf("recovered body %q, want %q", d.Body, "keep")
+	}
+	if st, _ := b2.QueueStats("q"); st.Ready != 0 {
+		t.Errorf("torn record resurrected: %+v", st)
+	}
+}
+
+// TestDurableTornTailCRCMismatch corrupts the tail record in place
+// (flipped payload byte, plausible length) rather than shortening the
+// file: the CRC frame must catch it and end replay cleanly.
+func TestDurableTornTailCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	b := durableBroker(t, dir)
+	declareDurable(t, b, "ex", "q")
+	b.Publish("ex", "", nil, []byte("keep"))
+	b.Publish("ex", "", nil, []byte("torn"))
+	b.Close()
+	path := lastSegment(t, filepath.Join(dir, "topics", "q"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b2 := durableBroker(t, dir)
+	defer b2.Close()
+	st, err := b2.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready != 1 {
+		t.Errorf("ready = %d after corrupt tail, want 1", st.Ready)
+	}
+}
+
+// TestLegacyJournalMigration covers the pre-segmentation format: a
+// monolithic broker.journal — including a torn tail whose length bytes
+// are garbage, which older versions refused to open — is replayed into
+// the segmented layout and removed.
+func TestLegacyJournalMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacy := func(rec []byte) []byte {
+		out := make([]byte, 4+len(rec))
+		out[0] = byte(len(rec)) // records here are < 256 bytes
+		copy(out[4:], rec)
+		return out
+	}
+	var file []byte
+	ex := append(appendString([]byte{recDeclareExchange}, "ex"), byte(Topic))
+	file = append(file, legacy(ex)...)
+	q := appendString([]byte{recDeclareQueue}, "q")
+	q = append(q, 0)       // AutoDelete=false
+	q = append(q, 0)       // MaxLen=0
+	q = append(q, 0)       // MaxRedeliver+1 = 0 (unlimited)
+	file = append(file, legacy(q)...)
+	bind := appendString([]byte{recBind}, "q")
+	bind = appendString(bind, "ex")
+	bind = appendString(bind, "#")
+	file = append(file, legacy(bind)...)
+	enq := appendString([]byte{recEnqueue}, "q")
+	enq = append(enq, 1) // id
+	enq = appendString(enq, "ex")
+	enq = appendString(enq, "k")
+	enq = append(enq, 0) // no headers
+	enq = appendBytes(enq, []byte("keep"))
+	file = append(file, legacy(enq)...)
+	// Torn tail: a length header of garbage followed by partial bytes.
+	// The old readRecord treated this as fatal corruption; it must now
+	// read as a clean end-of-log.
+	file = append(file, 0xff, 0xff, 0xff, 0xff, 0x01, 0x02)
+	if err := os.WriteFile(filepath.Join(dir, "broker.journal"), file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := durableBroker(t, dir)
+	defer b.Close()
+	st, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatalf("legacy queue not migrated: %v", err)
+	}
+	if st.Ready != 1 {
+		t.Errorf("migrated ready = %d, want 1", st.Ready)
+	}
+	c, _ := b.Consume("q", 1, false)
+	if d := drain(t, c, 1, 2*time.Second)[0]; string(d.Body) != "keep" {
+		t.Errorf("migrated body = %q", d.Body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "broker.journal")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("legacy journal not removed after migration: %v", err)
 	}
 }
 
@@ -199,17 +336,12 @@ func TestDurableCompactionShrinksJournal(t *testing.T) {
 		c.Ack(d.Tag)
 	}
 	b.Close()
-	path := filepath.Join(dir, "broker.journal")
-	before, _ := os.Stat(path)
+	before := journalSize(t, dir)
 
 	b2 := durableBroker(t, dir)
 	b2.Close()
-	after, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if after.Size() >= before.Size()/10 {
-		t.Errorf("compaction ineffective: %d -> %d bytes", before.Size(), after.Size())
+	if after := journalSize(t, dir); after >= before/10 {
+		t.Errorf("compaction ineffective: %d -> %d bytes", before, after)
 	}
 }
 

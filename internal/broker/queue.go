@@ -44,14 +44,16 @@ type queue struct {
 }
 
 // logNewEnqueue journals a message entering the ready list for the
-// first time, assigning its journal id. Called with q.mu held; the
-// journal has its own lock.
-func (q *queue) logNewEnqueue(msg *Message) {
-	if q.log != nil {
-		q.logSeq++
-		msg.journalID = q.logSeq
-		q.log.logEnqueue(q.name, msg.journalID, *msg)
+// first time, assigning its journal id, and returns the record's
+// journal-wide LSN (zero when the queue is not journaled). Called with
+// q.mu held; the journal has its own lock.
+func (q *queue) logNewEnqueue(msg *Message) uint64 {
+	if q.log == nil {
+		return 0
 	}
+	q.logSeq++
+	msg.journalID = q.logSeq
+	return q.log.logEnqueue(q.name, msg.journalID, *msg)
 }
 
 // logReEnqueue journals a message re-entering the ready list after its
@@ -88,13 +90,16 @@ func newQueue(name string, opts QueueOptions, clock vclock.Clock, onEmpty func(*
 
 // enqueue adds a message, blocking while the queue is at MaxLen.
 func (q *queue) enqueue(msg Message) error {
-	return q.enqueueCtx(context.Background(), msg)
+	_, err := q.enqueueCtx(context.Background(), msg)
+	return err
 }
 
 // enqueueCtx is enqueue honoring cancellation: when ctx is done while
 // the MaxLen bound blocks, it returns ctx.Err() without enqueueing. A
 // context with no Done channel adds no overhead beyond a nil check.
-func (q *queue) enqueueCtx(ctx context.Context, msg Message) error {
+// It returns the journal LSN of the enqueue record (zero when the
+// queue is not journaled) so the publish path can gate on replication.
+func (q *queue) enqueueCtx(ctx context.Context, msg Message) (uint64, error) {
 	if ctx.Done() != nil {
 		// Wake the cond wait when the context fires; Broadcast because
 		// several publishers may be parked with different contexts.
@@ -111,19 +116,19 @@ func (q *queue) enqueueCtx(ctx context.Context, msg Message) error {
 	}
 	if err := ctx.Err(); err != nil && q.opts.MaxLen > 0 && q.backlogLocked() >= q.opts.MaxLen {
 		q.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if q.closed {
 		q.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	q.logNewEnqueue(&msg)
+	lsn := q.logNewEnqueue(&msg)
 	q.ready.PushBack(msg)
 	q.published.Inc()
 	q.inMeter.Observe(q.clock.Now(), 1)
 	q.notEmpty.Signal()
 	q.mu.Unlock()
-	return nil
+	return lsn, nil
 }
 
 // backlogLocked counts messages the queue is still responsible for:

@@ -439,3 +439,40 @@ func TestRunScaleInMigratesCompletely(t *testing.T) {
 	}
 	t.Log("\n" + FormatScaleIn(res))
 }
+
+func TestRunBrokerFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second broker failover run")
+	}
+	cfg := BrokerFailConfig{
+		Nodes:             3,
+		Quorum:            2,
+		Messages:          200,
+		Publishers:        2,
+		Body:              32,
+		HeartbeatInterval: 5 * time.Millisecond,
+		LeaseTimeout:      60 * time.Millisecond,
+		Seed:              5,
+	}
+	res, err := RunBrokerFail(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoloMsgsPerSec <= 0 || res.ReplMsgsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	if res.FailoverPauseMS <= 0 {
+		t.Fatalf("failover pause not measured: %+v", res)
+	}
+	if res.PromotedID == res.KilledID || res.PromotedID == "" {
+		t.Fatalf("promotion did not happen: %+v", res)
+	}
+	// Both throughput phases published Messages each; the failover
+	// probe adds at least one more on the promoted leader's queue.
+	if res.PostFailoverReady <= cfg.Messages {
+		t.Fatalf("replicated log lost traffic across failover: ready=%d", res.PostFailoverReady)
+	}
+	if !strings.Contains(FormatBrokerFail(res, cfg), "failover pause") {
+		t.Fatal("report missing failover pause line")
+	}
+}

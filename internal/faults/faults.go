@@ -81,7 +81,7 @@ type Client struct {
 	rng      *rand.Rand
 	cutUntil time.Time
 	disabled bool
-	held     map[string]*held // exchange -> held publish
+	held     map[string][]*held // exchange -> held publishes, oldest first
 
 	drops, dups, delays, reorders, cuts *metrics.Counter
 }
@@ -99,7 +99,7 @@ func Wrap(inner broker.Client, cfg Config) *Client {
 		inner:    inner,
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		held:     make(map[string]*held),
+		held:     make(map[string][]*held),
 		drops:    reg.Counter("faults.drop"),
 		dups:     reg.Counter("faults.dup"),
 		delays:   reg.Counter("faults.delay"),
@@ -134,21 +134,34 @@ func (c *Client) Disable() {
 
 // Settle releases every held reordered message. Tests must call it (or
 // Disable then Settle) before checking completeness: a held message is
-// in flight, not lost, but only Settle completes the flight.
+// in flight, not lost, but only Settle completes the flight. A held
+// message whose release fails stays held — still in flight — so a
+// retried Settle (say, after a broker failover finishes electing)
+// completes it rather than losing it.
 func (c *Client) Settle() error {
 	c.mu.Lock()
 	hs := make([]*held, 0, len(c.held))
-	for _, h := range c.held {
-		hs = append(hs, h)
+	for _, byEx := range c.held {
+		hs = append(hs, byEx...)
 	}
-	c.held = make(map[string]*held)
+	c.held = make(map[string][]*held)
 	c.mu.Unlock()
-	for _, h := range hs {
+	for i, h := range hs {
 		if err := c.inner.Publish(h.exchange, h.key, h.headers, h.body); err != nil {
+			c.rehold(hs[i:])
 			return err
 		}
 	}
 	return nil
+}
+
+// rehold puts undeliverable held messages back in flight.
+func (c *Client) rehold(hs []*held) {
+	c.mu.Lock()
+	for _, h := range hs {
+		c.held[h.exchange] = append(c.held[h.exchange], h)
+	}
+	c.mu.Unlock()
 }
 
 // cutActiveLocked reports whether a partition is in force.
@@ -261,13 +274,13 @@ func (c *Client) publish(ctx context.Context, exchange, routingKey string, heade
 		case roll < r.Drop+r.Dup:
 			dup = true
 		case roll < r.Drop+r.Dup+r.Reorder:
-			if prev, ok := c.held[exchange]; ok {
+			if q := c.held[exchange]; len(q) > 0 {
 				// Already holding one: swap — this publish goes out
-				// now, the held one right behind it.
-				release = prev
-				delete(c.held, exchange)
+				// now, the oldest held one right behind it.
+				release = q[0]
+				c.held[exchange] = q[1:]
 			} else {
-				c.held[exchange] = &held{exchange, routingKey, headers, body}
+				c.held[exchange] = append(q, &held{exchange, routingKey, headers, body})
 				c.reorders.Inc()
 				c.mu.Unlock()
 				return nil // in flight; Settle or the next publish releases it
@@ -285,16 +298,32 @@ func (c *Client) publish(ctx context.Context, exchange, routingKey string, heade
 		return fmt.Errorf("%w: dropped publish on %q", ErrInjected, exchange)
 	}
 	if err := c.forward(ctx, exchange, routingKey, headers, body); err != nil {
+		// The swapped-out held message (if any) is still owed to the
+		// fabric: put it back in flight rather than lose it.
+		if release != nil {
+			c.rehold([]*held{release})
+		}
 		return err
 	}
 	if dup {
 		c.dups.Inc()
 		if err := c.forward(ctx, exchange, routingKey, headers, body); err != nil {
+			if release != nil {
+				c.rehold([]*held{release})
+			}
 			return err
 		}
 	}
 	if release != nil {
-		return c.forward(ctx, release.exchange, release.key, release.headers, release.body)
+		if err := c.forward(ctx, release.exchange, release.key, release.headers, release.body); err != nil {
+			// The current publish succeeded; only the release failed.
+			// Reporting the release's error here would make the caller
+			// retry the WRONG message (its own, already delivered) while
+			// the held one vanished — the exact loss a broker failover
+			// window provokes. Keep the held message in flight instead;
+			// Settle or a later swap completes it.
+			c.rehold([]*held{release})
+		}
 	}
 	return nil
 }

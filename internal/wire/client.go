@@ -36,6 +36,13 @@ var (
 type Config struct {
 	// Addr is the brokerd address ("host:port").
 	Addr string
+	// Addrs lists the members of a replicated broker set. When set it
+	// takes precedence over Addr: dial attempts rotate round-robin
+	// through the list (with the usual backoff between full passes),
+	// and with more than one address each fresh connection is probed so
+	// the client lands on the current leader — a follower answers
+	// broker.ErrNotLeader and the client moves on to the next address.
+	Addrs []string
 	// Reconnect makes the client survive broker restarts: lost
 	// connections are re-dialed with jittered exponential backoff, the
 	// recorded topology (declares and binds) is replayed, and consumers
@@ -85,6 +92,7 @@ type Client struct {
 
 	mu        sync.Mutex
 	conn      net.Conn // nil while disconnected
+	addrIdx   int      // index into cfg.Addrs of the live/last address
 	rng       *rand.Rand
 	lastRead  time.Time
 	nextReq   uint64
@@ -136,6 +144,9 @@ func Connect(cfg Config) (*Client, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if len(cfg.Addrs) == 0 {
+		cfg.Addrs = []string{cfg.Addr}
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -158,7 +169,7 @@ func Connect(cfg Config) (*Client, error) {
 	}
 	backoff := cfg.InitialBackoff
 	for {
-		conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+		conn, err := c.dialAny()
 		if err == nil {
 			c.install(conn)
 			break
@@ -166,7 +177,7 @@ func Connect(cfg Config) (*Client, error) {
 		if !cfg.Reconnect {
 			return nil, err
 		}
-		cfg.Logf("wire: dial %s: %v (retrying in %v)", cfg.Addr, err, backoff)
+		cfg.Logf("wire: dial %s: %v (retrying in %v)", c.addrsLabel(), err, backoff)
 		select {
 		case <-time.After(c.jitter(backoff)):
 		case <-c.closeCh:
@@ -178,6 +189,85 @@ func Connect(cfg Config) (*Client, error) {
 		go c.heartbeatLoop()
 	}
 	return c, nil
+}
+
+// addrsLabel names the broker set for log lines.
+func (c *Client) addrsLabel() string {
+	if len(c.cfg.Addrs) == 1 {
+		return c.cfg.Addrs[0]
+	}
+	return strings.Join(c.cfg.Addrs, ",")
+}
+
+// dialAny tries each configured broker address once, starting from the
+// last successful one, and returns the first connection that passes
+// the leader probe. Multi-address sets are probed (see probeLeader) so
+// a follower is skipped; a single-address config keeps the legacy
+// behavior of trusting the connection as dialed.
+func (c *Client) dialAny() (net.Conn, error) {
+	c.mu.Lock()
+	start := c.addrIdx
+	c.mu.Unlock()
+	n := len(c.cfg.Addrs)
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		addr := c.cfg.Addrs[idx]
+		conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			if n > 1 {
+				c.cfg.Logf("wire: dial %s: %v (trying next address)", addr, err)
+			}
+			continue
+		}
+		if n > 1 {
+			if err := probeLeader(conn, c.cfg.DialTimeout); err != nil {
+				conn.Close()
+				lastErr = fmt.Errorf("%s: %w", addr, err)
+				c.cfg.Logf("wire: probe %s: %v (trying next address)", addr, err)
+				continue
+			}
+		}
+		c.mu.Lock()
+		c.addrIdx = idx
+		c.mu.Unlock()
+		return conn, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("wire: no broker addresses configured")
+	}
+	return nil, lastErr
+}
+
+// probeLeader round-trips a ping on a fresh, not-yet-installed
+// connection. Correlation id 0 is reserved for the probe (regular
+// requests start at 1), and the exchange happens before the read loop
+// owns the socket, so the synchronous read cannot steal anyone's
+// reply. A replication follower answers broker.ErrNotLeader here,
+// which is the signal to try the next member of the broker set.
+func probeLeader(conn net.Conn, timeout time.Duration) error {
+	payload := []byte{opPing}
+	payload = binary.LittleEndian.AppendUint64(payload, 0)
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := writeFrame(conn, payload); err != nil {
+		return err
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if frame[0] != opReply { // readFrame never returns an empty frame
+		return fmt.Errorf("wire: unexpected probe reply opcode %d", frame[0])
+	}
+	r := &reader{buf: frame[1:]}
+	r.uint64() // echoed correlation id 0
+	msg := r.string()
+	if r.err != nil {
+		return r.err
+	}
+	return remoteError(msg)
 }
 
 // jitter spreads a backoff delay uniformly over [d/2, d) so a fleet of
@@ -295,7 +385,7 @@ func (c *Client) connLost(conn net.Conn, gen uint64, cause error) {
 		ch <- response{err: fmt.Errorf("%w: %v", ErrConnLost, cause)}
 	}
 	if reconnect {
-		c.cfg.Logf("wire: connection to %s lost: %v (reconnecting)", c.cfg.Addr, cause)
+		c.cfg.Logf("wire: connection to %s lost: %v (reconnecting)", c.addrsLabel(), cause)
 		go c.reconnectLoop()
 		return
 	}
@@ -317,9 +407,9 @@ func (c *Client) reconnectLoop() {
 		case <-time.After(c.jitter(backoff)):
 		}
 		backoff = minDuration(2*backoff, c.cfg.MaxBackoff)
-		conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		conn, err := c.dialAny()
 		if err != nil {
-			c.cfg.Logf("wire: redial %s: %v", c.cfg.Addr, err)
+			c.cfg.Logf("wire: redial %s: %v", c.addrsLabel(), err)
 			continue
 		}
 		c.mu.Lock()
@@ -330,7 +420,7 @@ func (c *Client) reconnectLoop() {
 		}
 		c.mu.Unlock()
 		c.install(conn)
-		c.cfg.Logf("wire: reconnected to %s", c.cfg.Addr)
+		c.cfg.Logf("wire: reconnected to %s", conn.RemoteAddr())
 		c.replay()
 		return
 	}
@@ -503,6 +593,7 @@ func remoteError(msg string) error {
 		broker.ErrClosed, broker.ErrNoExchange, broker.ErrNoQueue,
 		broker.ErrExchangeExists, broker.ErrQueueExists,
 		broker.ErrConsumerClosed, broker.ErrUnknownDelivery,
+		broker.ErrNotLeader,
 	} {
 		if strings.HasPrefix(msg, sentinel.Error()) {
 			if msg == sentinel.Error() {

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"bistream/internal/broker"
+)
+
+// startServer serves a fresh in-process broker on a loopback port and
+// returns the server, its broker, and the bound address.
+func startServer(t *testing.T) (*Server, *broker.Broker, string) {
+	t.Helper()
+	b := broker.New(nil)
+	srv := NewServer(b, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); b.Close() })
+	return srv, b, addr.String()
+}
+
+// deadAddr returns a loopback address that refuses connections: bind a
+// port, then close the listener so nothing is accepting there.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestMultiAddrLandsOnSecondAddress: the first address of the broker
+// set refuses connections; the client must come up on the second one
+// without any reconnect machinery.
+func TestMultiAddrLandsOnSecondAddress(t *testing.T) {
+	_, b, live := startServer(t)
+	cfg := Config{
+		Addrs:          []string{deadAddr(t), live},
+		DialTimeout:    time.Second,
+		InitialBackoff: 2 * time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+		Seed:           1,
+	}
+	c, err := Connect(cfg)
+	if err != nil {
+		t.Fatalf("Connect over multi-address set: %v", err)
+	}
+	defer c.Close()
+	if err := c.DeclareExchange("ex", broker.Fanout); err != nil {
+		t.Fatal(err)
+	}
+	// The operation reached the live broker behind the second address.
+	if err := b.DeclareExchange("ex", broker.Fanout); err != nil {
+		t.Errorf("declare did not land on the live broker: %v", err)
+	}
+}
+
+// TestMultiAddrSkipsFollower: the first address accepts connections
+// but serves no broker (a replication follower); the probe must move
+// the client on to the leader.
+func TestMultiAddrSkipsFollower(t *testing.T) {
+	follower := NewServer(nil, t.Logf)
+	fAddr, err := follower.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	_, b, leader := startServer(t)
+
+	c, err := Connect(Config{
+		Addrs:       []string{fAddr.String(), leader},
+		DialTimeout: time.Second,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("Connect skipping follower: %v", err)
+	}
+	defer c.Close()
+	if err := c.DeclareQueue("q", broker.QueueOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.QueueStats("q"); err != nil {
+		t.Errorf("declare did not land on the leader: %v", err)
+	}
+}
+
+// TestSingleAddrRequestGetsNotLeader: on a single-address config there
+// is no pre-install probe, so the first request is what surfaces the
+// follower state — as a typed broker.ErrNotLeader.
+func TestSingleAddrRequestGetsNotLeader(t *testing.T) {
+	follower := NewServer(nil, t.Logf)
+	addr, err := follower.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.DeclareExchange("ex", broker.Fanout); !errors.Is(err, broker.ErrNotLeader) {
+		t.Fatalf("err = %v, want broker.ErrNotLeader", err)
+	}
+}
+
+// TestMultiAddrFailover moves leadership between two servers under a
+// reconnecting client: after the first leader detaches its broker, the
+// client must re-land on the new leader and replay its topology there.
+func TestMultiAddrFailover(t *testing.T) {
+	srvA, bA, addrA := startServer(t)
+	srvB, bB, addrB := startServer(t)
+	srvB.SetBroker(nil) // B starts as follower
+
+	cfg := Config{
+		Addrs:          []string{addrA, addrB},
+		Reconnect:      true,
+		DialTimeout:    time.Second,
+		InitialBackoff: 2 * time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+		Seed:           1,
+	}
+	c, err := Connect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.DeclareExchange("ex", broker.Fanout); err != nil {
+		t.Fatal(err)
+	}
+	if err := bA.DeclareExchange("ex", broker.Fanout); err != nil {
+		t.Fatalf("initial leader never saw the declare: %v", err)
+	}
+
+	// Failover: A steps down (dropping connections), B steps up.
+	srvA.SetBroker(nil)
+	srvB.SetBroker(bB)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.DeclareExchange("ex", broker.Fanout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reached the new leader: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := bB.DeclareExchange("ex", broker.Fanout); err != nil {
+		t.Errorf("topology not replayed on the new leader: %v", err)
+	}
+	if got := c.Generation(); got < 2 {
+		t.Errorf("client generation = %d, want >= 2 (reconnected)", got)
+	}
+}

@@ -75,6 +75,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadFrame reads one length-prefixed frame. Exported for sibling
+// protocols built on the same framing (the broker replication stream).
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
+// WriteFrame writes one frame; the caller must serialize writes.
+// Exported for sibling protocols built on the same framing.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
 // writeFrame writes one frame. The caller must serialize writes.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {

@@ -13,8 +13,14 @@ import (
 )
 
 // Server accepts TCP connections and executes broker operations on
-// behalf of remote clients. One Server fronts one broker.Broker.
+// behalf of remote clients. One Server fronts one broker.Broker; the
+// broker reference is swappable (SetBroker) so a replica node can run
+// the listener continuously and only attach a broker while it is the
+// leader. While no broker is attached every request is answered with
+// broker.ErrNotLeader and the connection is closed, steering
+// multi-address clients to the current leader.
 type Server struct {
+	bmu    sync.RWMutex
 	b      *broker.Broker
 	ln     net.Listener
 	logf   func(format string, args ...any)
@@ -24,12 +30,42 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps the broker. Call Serve to start accepting.
+// NewServer wraps the broker (nil for a follower that will attach one
+// on promotion). Call Listen to start accepting.
 func NewServer(b *broker.Broker, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{b: b, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// SetBroker swaps the served broker; nil detaches it (follower mode).
+// Existing connections bound to the old broker are dropped so their
+// clients re-dial and re-probe the broker set.
+func (s *Server) SetBroker(b *broker.Broker) {
+	s.bmu.Lock()
+	old := s.b
+	s.b = b
+	s.bmu.Unlock()
+	if old == b {
+		return
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Broker returns the currently attached broker (nil in follower mode).
+func (s *Server) Broker() *broker.Broker {
+	s.bmu.RLock()
+	defer s.bmu.RUnlock()
+	return s.b
 }
 
 // Listen binds the address and starts serving in background goroutines.
@@ -161,7 +197,13 @@ func (sess *session) handle(frame []byte) error {
 	op := frame[0]
 	r := &reader{buf: frame[1:]}
 	reqID := r.uint64()
-	b := sess.srv.b
+	b := sess.srv.Broker()
+	if b == nil {
+		// Follower mode: refuse and hang up, so the client's next dial
+		// probes its way to the leader.
+		_ = sess.reply(reqID, broker.ErrNotLeader)
+		return fmt.Errorf("request while not leader")
+	}
 	switch op {
 	case opDeclareExchange:
 		name := r.string()
