@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet doclint linkcheck fuzz-smoke check bench bench-json clean
+.PHONY: build test race vet doclint linkcheck fuzz-smoke bench-smoke check bench bench-json bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeManifest$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 
+# One-iteration benchmark smoke so the bench harnesses can't bit-rot:
+# compiles and runs every benchmark exactly once. The root package is
+# scoped to the ingest benches because the Figure 20/21 replays take
+# tens of seconds even for a single iteration.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EngineIngest' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+
 # The gate new changes must pass before merging.
-check: vet build race doclint linkcheck fuzz-smoke
+check: vet build race doclint linkcheck fuzz-smoke bench-smoke
 
 # Quick throughput benches (the full experiment suite takes minutes;
 # see EXPERIMENTS.md for `bistream exp all`).
@@ -56,6 +64,16 @@ bench:
 bench-json:
 	$(GO) test -bench 'EngineIngest' -benchmem . | $(GO) run ./tools/benchjson > BENCH_$$(date +%Y%m%d).json
 	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+
+# Regression gate between two bench-json snapshots: fails on >15% ns/op
+# or >10 allocs/op growth on any benchmark present in both. Override
+# the files to diff arbitrary snapshots:
+#
+#	make bench-diff BENCH_OLD=BENCH_20260806.json BENCH_NEW=BENCH_20260809.json
+BENCH_OLD ?= $(firstword $(shell ls -1 BENCH_*.json 2>/dev/null))
+BENCH_NEW ?= $(lastword $(shell ls -1 BENCH_*.json 2>/dev/null))
+bench-diff:
+	$(GO) run ./tools/benchdiff $(BENCH_OLD) $(BENCH_NEW)
 
 clean:
 	$(GO) clean ./...

@@ -6,13 +6,18 @@
 package bistream_test
 
 import (
+	"encoding/binary"
 	"testing"
 	"time"
 
 	"bistream"
 	"bistream/internal/checkpoint"
 	"bistream/internal/experiments"
+	"bistream/internal/joiner"
+	"bistream/internal/predicate"
+	"bistream/internal/protocol"
 	"bistream/internal/tuple"
+	"bistream/internal/window"
 	"bistream/internal/workload"
 )
 
@@ -168,6 +173,108 @@ func BenchmarkHeapPolicyAblation(b *testing.B) {
 		b.ReportMetric(tuned.FinalMemMB, "tuned-final-MB")
 		b.ReportMetric(def.FinalMemMB, "default-final-MB")
 	}
+}
+
+// BenchmarkEngineIngestEquiSharded measures the joiner's batched,
+// core-sharded steady-state path from encoded envelope to join result:
+// slab-decoder decode, release through the ordering protocol, and
+// store/probe fanned out across GOMAXPROCS shards — the per-process hot
+// path the service's consume loop runs between broker hops. ns/op is
+// per tuple aggregate across shards, so <1000ns sustains >1M tuples/s
+// per joiner process.
+func BenchmarkEngineIngestEquiSharded(b *testing.B) {
+	core, err := joiner.NewCore(joiner.Config{
+		Rel:  tuple.R,
+		Pred: predicate.NewEqui(0, 0),
+		// Hot-path tuning per docs/OPERATIONS.md: a coarser archive
+		// period shortens the sub-index chain a point probe walks
+		// (window/4 ≈ 5 sub-indexes instead of the default 17).
+		Window:        window.Sliding{Span: 10 * time.Second},
+		ArchivePeriod: 2500 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.AddRouter(1)
+
+	// Envelope bodies are marshaled once; the timed loop patches the
+	// counter/seq/ts/key fields in place, keeping encode cost out of the
+	// measurement while decode cost stays in, like the consume loop.
+	const half = 256 // store and join halves of one 512-tuple cycle
+	storeBodies := make([][]byte, half)
+	joinBodies := make([][]byte, half)
+	for i := range storeBodies {
+		storeBodies[i] = protocol.Envelope{
+			Kind: protocol.KindTuple, RouterID: 1, Stream: protocol.StreamStore,
+			Tuple: tuple.New(tuple.R, 1, 0, tuple.Int(0)),
+		}.Marshal()
+		joinBodies[i] = protocol.Envelope{
+			Kind: protocol.KindTuple, RouterID: 1, Stream: protocol.StreamJoin,
+			Tuple: tuple.New(tuple.S, 1, 0, tuple.Int(0)),
+		}.Marshal()
+	}
+	// Fixed offsets into a marshaled single-int-value tuple envelope:
+	// kind(1) router(4) counter(8) | stream(1) | rel(1) seq(8) ts(8)
+	// count(1) valkind(1) int64 key.
+	patch := func(body []byte, counter, seq uint64, ts, key int64) {
+		binary.LittleEndian.PutUint64(body[5:13], counter)
+		binary.LittleEndian.PutUint64(body[15:23], seq)
+		binary.LittleEndian.PutUint64(body[23:31], uint64(ts))
+		binary.LittleEndian.PutUint64(body[33:41], uint64(key))
+	}
+	var (
+		dec     tuple.Decoder
+		envs    = make([]protocol.Envelope, 0, half+1)
+		counter uint64
+		seq     uint64
+		keyBase int64
+		results int
+	)
+	emit := func(tuple.JoinResult) { results++ }
+	decode := func(body []byte) protocol.Envelope {
+		e, err := protocol.DecodeEnvelope(body, &dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += 2 * half {
+		// Store half first, join half second, then one punctuation
+		// counter sent on both sources: the join-source batch's signal
+		// completes the (router, source) frontier pair and releases the
+		// whole 512-tuple cycle through the parallel shard fan-out.
+		envs = envs[:0]
+		for i := 0; i < half; i++ {
+			counter++
+			seq++
+			patch(storeBodies[i], counter, seq, int64(seq)/5, (keyBase+int64(i))%65_536)
+			envs = append(envs, decode(storeBodies[i]))
+		}
+		punct := protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: counter + uint64(half) + 1}
+		envs = append(envs, punct)
+		core.HandleBatch(envs, protocol.SourceStore, emit)
+
+		envs = envs[:0]
+		for i := 0; i < half; i++ {
+			counter++
+			seq++
+			patch(joinBodies[i], counter, seq, int64(seq)/5, (keyBase+int64(i))%65_536)
+			envs = append(envs, decode(joinBodies[i]))
+		}
+		counter++
+		envs = append(envs, punct)
+		core.HandleBatch(envs, protocol.SourceJoin, emit)
+		keyBase += half
+	}
+	b.StopTimer()
+	st := core.Stats()
+	if st.Stored == 0 || st.Probed == 0 || results == 0 {
+		b.Fatalf("pipeline idle: stored=%d probed=%d results=%d", st.Stored, st.Probed, results)
+	}
+	b.ReportMetric(float64(core.NumShards()), "shards")
+	b.ReportMetric(float64(results)/float64(b.N), "results/op")
 }
 
 // BenchmarkEngineIngestEqui measures raw end-to-end engine throughput

@@ -6,7 +6,7 @@
 //
 //	bistream run [-predicate 'equi(0,0)'] [-rate 300] [-duration 10s] ...
 //	bistream status
-//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|brokerfail|all}
+//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|brokerfail|joinerscale|all}
 package main
 
 import (
@@ -49,7 +49,7 @@ func usage() {
   bistream run    [flags]   run a self-contained engine on a synthetic workload
   bistream status           print the Figure 14/16/17/18/19 deployment tables
   bistream exp    <name>    regenerate an experiment:
-                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap brokerfail all
+                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap brokerfail joinerscale all
 `)
 	os.Exit(2)
 }
@@ -185,7 +185,7 @@ func cmdExp(args []string) {
 		usage()
 	}
 	if names[0] == "all" {
-		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "fig20", "fig21", "heap", "brokerfail"}
+		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "joinerscale", "fig20", "fig21", "heap", "brokerfail"}
 	}
 	for _, name := range names {
 		if err := runExperiment(name, *csvDir); err != nil {
@@ -294,6 +294,13 @@ func runExperiment(name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatScaleIn(res))
+	case "joinerscale":
+		fmt.Println("=== E13: core-sharded joiner hot path — throughput vs shards ===")
+		rows, err := experiments.RunJoinerScale(experiments.DefaultJoinerScaleConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatJoinerScaleRows(rows))
 	case "brokerfail":
 		fmt.Println("=== E12: replicated broker log — quorum cost and leader failover ===")
 		cfg := experiments.DefaultBrokerFailConfig()

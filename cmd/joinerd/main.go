@@ -41,6 +41,7 @@ func main() {
 		predSpec    = flag.String("predicate", "equi(0,0)", "join predicate")
 		winSpan     = flag.Duration("window", 10*time.Minute, "sliding window span")
 		archive     = flag.Duration("archive", 0, "chained index archive period (0 = window/16)")
+		shards      = flag.Int("shards", 0, "per-core store shards for the batched hot path (0 = GOMAXPROCS)")
 		routers     = flag.String("routers", "0", "comma-separated router ids to register")
 		statsEvery  = flag.Duration("stats", 10*time.Second, "stats logging period (0 = off)")
 		metricsAddr = flag.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
@@ -103,6 +104,7 @@ func main() {
 		Pred:          pred,
 		Window:        window.Sliding{Span: *winSpan},
 		ArchivePeriod: *archive,
+		Shards:        *shards,
 		Metrics:       reg,
 		Trace:         tracer,
 	})

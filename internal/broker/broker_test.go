@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -107,6 +108,7 @@ func TestCompetingConsumersPartitionAndPreserveOrder(t *testing.T) {
 	c2, _ := b.Consume("group", 4, true)
 	const n = 400
 	var got1, got2 []int
+	var received atomic.Int64
 	var wg sync.WaitGroup
 	collect := func(c Consumer, out *[]int) {
 		defer wg.Done()
@@ -114,6 +116,7 @@ func TestCompetingConsumersPartitionAndPreserveOrder(t *testing.T) {
 			var v int
 			fmt.Sscan(string(d.Body), &v)
 			*out = append(*out, v)
+			received.Add(1)
 		}
 	}
 	wg.Add(2)
@@ -124,9 +127,12 @@ func TestCompetingConsumersPartitionAndPreserveOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Wait for the collectors to have read everything, not just for the
+	// auto-acks (counted at dispatch): a delivery still buffered in a
+	// consumer channel when Cancel runs would be requeued, not received.
 	waitFor(t, time.Second, func() bool {
 		st, _ := b.QueueStats("group")
-		return st.Acked == n
+		return st.Acked == n && received.Load() == n
 	})
 	c1.Cancel()
 	c2.Cancel()

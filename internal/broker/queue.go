@@ -322,6 +322,42 @@ func (c *consumer) Ack(tag uint64) error {
 	return nil
 }
 
+// AckBatch confirms a batch of deliveries under one lock acquisition —
+// the settle path batched consumers (the joiner's consume loop) use so
+// per-delivery lock traffic does not erase what batching saved. Unknown
+// tags yield ErrUnknownDelivery but do not stop the rest of the batch
+// from settling.
+func (c *consumer) AckBatch(tags []uint64) error {
+	q := c.q
+	q.mu.Lock()
+	if c.cancelled {
+		q.mu.Unlock()
+		return ErrConsumerClosed
+	}
+	var firstErr error
+	settled := 0
+	for _, tag := range tags {
+		msg, ok := c.unacked[tag]
+		if !ok {
+			if firstErr == nil {
+				firstErr = ErrUnknownDelivery
+			}
+			continue
+		}
+		delete(c.unacked, tag)
+		q.acked.Inc()
+		q.logSettle(msg)
+		settled++
+	}
+	if settled > 0 {
+		q.outMeter.Observe(q.clock.Now(), int64(settled))
+		q.notEmpty.Broadcast()
+		q.notFull.Broadcast()
+	}
+	q.mu.Unlock()
+	return firstErr
+}
+
 // maxRedeliver resolves the queue's redelivery bound: negative options
 // mean unlimited (-1), zero selects the default.
 func (q *queue) maxRedeliver() int {

@@ -98,8 +98,10 @@ func sealedKey(origin int32, id uint64) string {
 
 // liveKey is epoch-qualified: the live segment is rewritten every
 // round, and writing epoch N's copy under a fresh key means a torn
-// write can never damage the blob epoch N-1's manifest references.
-func liveKey(epoch uint64) string { return fmt.Sprintf("live-%016x", epoch) }
+// write can never damage the blob epoch N-1's manifest references. It
+// is also id-qualified, because a sharded window exports one live
+// segment per shard and all of them land in the same epoch.
+func liveKey(epoch, id uint64) string { return fmt.Sprintf("live-%016x-%016x", epoch, id) }
 
 // Save commits snapshot s as the next epoch: sealed segments not yet in
 // the store are written (already-durable ones are skipped), the live
@@ -129,7 +131,7 @@ func (c *Checkpointer) Save(s *Snapshot) error {
 				continue
 			}
 		}
-		key := liveKey(epoch)
+		key := liveKey(epoch, seg.ID)
 		if seg.Sealed {
 			key = sealedKey(seg.Origin, seg.ID)
 		}

@@ -263,7 +263,7 @@ func TestRecoverFallsBackPastTornSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt epoch 2's live segment (flip a byte, keep the length).
-	key := liveKey(2)
+	key := liveKey(2, 2)
 	blob, err := st.Get(key)
 	if err != nil {
 		t.Fatal(err)

@@ -34,6 +34,7 @@ func runChaos(t *testing.T, seed int64) {
 		Predicate: pred,
 		Window:    time.Minute,
 		Routers:   2,
+		Shards:    3,
 		RJoiners:  2,
 		SJoiners:  2,
 	}, col)

@@ -71,6 +71,7 @@ func TestColdCrashWithCheckpointRecoversWindow(t *testing.T) {
 	e := startEngine(t, Config{
 		Predicate:          pred,
 		Window:             time.Minute,
+		Shards:             3,
 		Checkpoint:         checkpoint.NewMemProvider(),
 		CheckpointInterval: 20 * time.Millisecond,
 	}, col)
@@ -149,6 +150,7 @@ func runColdCrashChaos(t *testing.T, seed int64) {
 		Predicate:          pred,
 		Window:             time.Minute,
 		Routers:            2,
+		Shards:             3,
 		RJoiners:           2,
 		SJoiners:           2,
 		Broker:             f,

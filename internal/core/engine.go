@@ -45,6 +45,11 @@ type Config struct {
 	// OrderedIndex selects the joiners' ordered sub-index for non-equi
 	// predicates: index.SkipListKind (default) or index.BTreeKind.
 	OrderedIndex index.OrderedKind
+	// Shards is the number of per-core store shards each joiner
+	// partitions its window into; batches of deliveries fan out across
+	// the shards in parallel. Zero defaults to GOMAXPROCS; values are
+	// clamped to [1, index.MaxShards].
+	Shards int
 	// Routers is the number of router instances (default 1).
 	Routers int
 	// RJoiners and SJoiners size the two biclique vertex sets
@@ -500,6 +505,7 @@ func (e *Engine) buildJoinerLocked(rel tuple.Relation, id int32) (*joiner.Servic
 		FullHistory:   e.cfg.FullHistory,
 		ArchivePeriod: e.cfg.ArchivePeriod,
 		OrderedIndex:  e.cfg.OrderedIndex,
+		Shards:        e.cfg.Shards,
 		Unordered:     e.cfg.Unordered,
 		Metrics:       e.reg,
 		Trace:         e.tracer,

@@ -67,6 +67,7 @@ func runMigrationChaos(t *testing.T, seed int64) {
 		Predicate:          pred,
 		FullHistory:        true,
 		Routers:            2,
+		Shards:             3,
 		RJoiners:           3,
 		SJoiners:           2,
 		Broker:             f,
@@ -164,6 +165,7 @@ func TestEngineWindowedScaleInMigrates(t *testing.T) {
 	e := startEngine(t, Config{
 		Predicate:       pred,
 		Window:          time.Minute,
+		Shards:          3,
 		RJoiners:        3,
 		SJoiners:        2,
 		Metrics:         reg,
@@ -206,6 +208,7 @@ func TestEngineReapTickerRetiresSealed(t *testing.T) {
 	e := startEngine(t, Config{
 		Predicate: pred,
 		Window:    100 * time.Millisecond,
+		Shards:    3,
 		RJoiners:  2,
 		Metrics:   reg,
 	}, col)

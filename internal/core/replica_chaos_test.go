@@ -132,6 +132,7 @@ func runReplicaFailoverChaos(t *testing.T, seed int64) {
 		Routers:   2,
 		RJoiners:  2,
 		SJoiners:  2,
+		Shards:    3,
 		Broker:    f,
 		Metrics:   reg,
 	}, col)

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"bistream/internal/joiner"
+	"bistream/internal/predicate"
+	"bistream/internal/protocol"
+	"bistream/internal/tuple"
+	"bistream/internal/window"
+)
+
+// JoinerScaleConfig parameterizes E13, the core-sharded joiner hot-path
+// scaling curve: the same envelope stream (decode → ordering-protocol
+// release → store/probe) is pushed through joiner cores configured with
+// increasing per-core shard counts, measuring aggregate tuples/s per
+// joiner process.
+type JoinerScaleConfig struct {
+	// Tuples per shard-count run (half stored, half probing).
+	Tuples int
+	// Batch is the tuples per HandleBatch cycle, split into a store
+	// half and a join half like the service's consume loop produces.
+	Batch int
+	// Keys is the join-attribute domain.
+	Keys int64
+	// WindowSpan is the sliding window.
+	WindowSpan time.Duration
+	// ArchivePeriod is the chained-index sub-index span (0 = default).
+	ArchivePeriod time.Duration
+	// Shards are the per-core shard counts to sweep; 0 entries mean
+	// GOMAXPROCS.
+	Shards []int
+}
+
+// DefaultJoinerScaleConfig sweeps 1..2×GOMAXPROCS shards with the
+// hot-path tuning from docs/OPERATIONS.md.
+func DefaultJoinerScaleConfig() JoinerScaleConfig {
+	procs := runtime.GOMAXPROCS(0)
+	shards := []int{1}
+	for n := 2; n <= 2*procs; n *= 2 {
+		shards = append(shards, n)
+	}
+	return JoinerScaleConfig{
+		Tuples:        1_000_000,
+		Batch:         512,
+		Keys:          65_536,
+		WindowSpan:    10 * time.Second,
+		ArchivePeriod: 2500 * time.Millisecond,
+		Shards:        shards,
+	}
+}
+
+// JoinerScaleRow is one measured shard count.
+type JoinerScaleRow struct {
+	Shards       int
+	TuplesPerSec float64
+	NsPerTuple   float64
+	Results      int
+	WindowLen    int
+}
+
+// RunJoinerScale executes E13: the direct joiner-core hot path (no
+// broker hops), timed per shard count over an identical workload.
+func RunJoinerScale(cfg JoinerScaleConfig) ([]JoinerScaleRow, error) {
+	if cfg.Tuples <= 0 || cfg.Batch < 2 || cfg.Keys <= 0 || len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("experiments: bad joinerscale config")
+	}
+	var rows []JoinerScaleRow
+	for _, shards := range cfg.Shards {
+		row, err := runJoinerScaleOnce(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runJoinerScaleOnce(cfg JoinerScaleConfig, shards int) (JoinerScaleRow, error) {
+	core, err := joiner.NewCore(joiner.Config{
+		Rel:           tuple.R,
+		Pred:          predicate.NewEqui(0, 0),
+		Window:        window.Sliding{Span: cfg.WindowSpan},
+		ArchivePeriod: cfg.ArchivePeriod,
+		Shards:        shards,
+	})
+	if err != nil {
+		return JoinerScaleRow{}, err
+	}
+	core.AddRouter(1)
+
+	// Envelope bodies are marshaled once and patched in place per cycle
+	// (counter, seq, ts, key), so the measured loop pays decode cost —
+	// like the consume loop — but not encode cost.
+	half := cfg.Batch / 2
+	storeBodies := make([][]byte, half)
+	joinBodies := make([][]byte, half)
+	for i := range storeBodies {
+		storeBodies[i] = protocol.Envelope{
+			Kind: protocol.KindTuple, RouterID: 1, Stream: protocol.StreamStore,
+			Tuple: tuple.New(tuple.R, 1, 0, tuple.Int(0)),
+		}.Marshal()
+		joinBodies[i] = protocol.Envelope{
+			Kind: protocol.KindTuple, RouterID: 1, Stream: protocol.StreamJoin,
+			Tuple: tuple.New(tuple.S, 1, 0, tuple.Int(0)),
+		}.Marshal()
+	}
+	patch := func(body []byte, counter, seq uint64, ts, key int64) {
+		binary.LittleEndian.PutUint64(body[5:13], counter)
+		binary.LittleEndian.PutUint64(body[15:23], seq)
+		binary.LittleEndian.PutUint64(body[23:31], uint64(ts))
+		binary.LittleEndian.PutUint64(body[33:41], uint64(key))
+	}
+
+	var (
+		dec     tuple.Decoder
+		envs    = make([]protocol.Envelope, 0, half+1)
+		counter uint64
+		seq     uint64
+		keyBase int64
+		results int
+	)
+	emit := func(tuple.JoinResult) { results++ }
+	start := time.Now()
+	for done := 0; done < cfg.Tuples; done += 2 * half {
+		envs = envs[:0]
+		for i := 0; i < half; i++ {
+			counter++
+			seq++
+			patch(storeBodies[i], counter, seq, int64(seq)/5, (keyBase+int64(i))%cfg.Keys)
+			e, err := protocol.DecodeEnvelope(storeBodies[i], &dec)
+			if err != nil {
+				return JoinerScaleRow{}, err
+			}
+			envs = append(envs, e)
+		}
+		punct := protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: counter + uint64(half) + 1}
+		envs = append(envs, punct)
+		core.HandleBatch(envs, protocol.SourceStore, emit)
+
+		envs = envs[:0]
+		for i := 0; i < half; i++ {
+			counter++
+			seq++
+			patch(joinBodies[i], counter, seq, int64(seq)/5, (keyBase+int64(i))%cfg.Keys)
+			e, err := protocol.DecodeEnvelope(joinBodies[i], &dec)
+			if err != nil {
+				return JoinerScaleRow{}, err
+			}
+			envs = append(envs, e)
+		}
+		counter++
+		envs = append(envs, punct)
+		core.HandleBatch(envs, protocol.SourceJoin, emit)
+		keyBase += int64(half)
+	}
+	dur := time.Since(start)
+	st := core.Stats()
+	if st.Stored == 0 || st.Probed == 0 {
+		return JoinerScaleRow{}, fmt.Errorf("experiments: joinerscale pipeline idle (stored=%d probed=%d)", st.Stored, st.Probed)
+	}
+	return JoinerScaleRow{
+		Shards:       core.NumShards(),
+		TuplesPerSec: float64(cfg.Tuples) / dur.Seconds(),
+		NsPerTuple:   float64(dur.Nanoseconds()) / float64(cfg.Tuples),
+		Results:      results,
+		WindowLen:    st.WindowLen,
+	}, nil
+}
+
+// FormatJoinerScaleRows renders the E13 table.
+func FormatJoinerScaleRows(rows []JoinerScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %12s %10s %10s\n", "shards", "tuples/s", "ns/tuple", "results", "window")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.0f %12.1f %10d %10d\n",
+			r.Shards, r.TuplesPerSec, r.NsPerTuple, r.Results, r.WindowLen)
+	}
+	return b.String()
+}

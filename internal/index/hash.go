@@ -43,7 +43,7 @@ func (h *Hash) Insert(t *tuple.Tuple) {
 // everything.
 func (h *Hash) Probe(plan predicate.Plan, emit func(*tuple.Tuple) bool) {
 	if plan.Kind == predicate.ProbePoint && h.attr >= 0 {
-		for _, t := range h.buckets[plan.Key.Hash()] {
+		for _, t := range h.buckets[plan.HashOfKey()] {
 			if !emit(t) {
 				return
 			}

@@ -8,6 +8,7 @@ package index
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bistream/internal/predicate"
 	"bistream/internal/tuple"
@@ -73,6 +74,39 @@ func ForPredicateOrdered(pred predicate.Predicate, rel tuple.Relation, kind Orde
 	return func() SubIndex { return NewSkipList(attr) }
 }
 
+// IDAlloc hands out segment ids. One allocator can be shared by several
+// chains (the shards of a Sharded index), which keeps local segment ids
+// unique across all of them — the checkpoint layer keys incremental
+// segment writes on (origin, id), so two shards must never seal
+// different segments under the same id. The counter is atomic so shard
+// workers archiving concurrently never collide.
+type IDAlloc struct {
+	next atomic.Uint64
+}
+
+// NewIDAlloc creates an allocator whose first id is 1.
+func NewIDAlloc() *IDAlloc {
+	a := &IDAlloc{}
+	a.next.Store(1)
+	return a
+}
+
+// take returns the next unused id.
+func (a *IDAlloc) take() uint64 {
+	return a.next.Add(1) - 1
+}
+
+// Bump raises the allocator so it will never hand out an id below min
+// (checkpoint restore: imported segments reserve their ids).
+func (a *IDAlloc) Bump(min uint64) {
+	for {
+		cur := a.next.Load()
+		if cur >= min || a.next.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
 // Chained is the chained in-memory index: an active sub-index receiving
 // inserts, plus a linked chain of archived sub-indexes ordered by
 // construction time. Expiry drops whole archived sub-indexes by
@@ -81,10 +115,10 @@ type Chained struct {
 	factory Factory
 	period  int64 // archive period P, milliseconds
 	win     window.Sliding
+	alloc   *IDAlloc
 
 	active   *chainedSub
 	archived []*chainedSub // oldest first
-	nextID   uint64        // next segment id to assign
 
 	totalLen int
 	memBytes int64
@@ -132,6 +166,12 @@ func (cs *chainedSub) insert(t *tuple.Tuple) {
 // the given window. The period must be positive and is typically a
 // fraction of the window span (W/P sub-indexes are live at a time).
 func NewChained(factory Factory, period int64, win window.Sliding) (*Chained, error) {
+	return NewChainedAlloc(factory, period, win, NewIDAlloc())
+}
+
+// NewChainedAlloc is NewChained with an explicit segment-id allocator,
+// shared when the chain is one shard of a Sharded index.
+func NewChainedAlloc(factory Factory, period int64, win window.Sliding, alloc *IDAlloc) (*Chained, error) {
 	if period <= 0 {
 		return nil, fmt.Errorf("index: archive period must be positive, got %d", period)
 	}
@@ -139,8 +179,8 @@ func NewChained(factory Factory, period int64, win window.Sliding) (*Chained, er
 		factory: factory,
 		period:  period,
 		win:     win,
-		active:  newChainedSub(factory, 1),
-		nextID:  2,
+		alloc:   alloc,
+		active:  newChainedSub(factory, alloc.take()),
 	}, nil
 }
 
@@ -170,8 +210,7 @@ func (c *Chained) Insert(t *tuple.Tuple) {
 
 func (c *Chained) archiveActive() {
 	c.archived = append(c.archived, c.active)
-	c.active = newChainedSub(c.factory, c.nextID)
-	c.nextID++
+	c.active = newChainedSub(c.factory, c.alloc.take())
 	c.archives++
 }
 
@@ -338,8 +377,8 @@ func (c *Chained) ImportSegments(segs []Segment) error {
 		} else {
 			c.active = cs
 		}
-		if s.Origin == OriginLocal && s.ID >= c.nextID {
-			c.nextID = s.ID + 1
+		if s.Origin == OriginLocal {
+			c.alloc.Bump(s.ID + 1)
 		}
 	}
 	return nil

@@ -7,6 +7,8 @@ package joiner
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"bistream/internal/checkpoint"
@@ -40,6 +42,11 @@ type Config struct {
 	// OrderedIndex selects the ordered sub-index implementation for
 	// non-equi predicates (skip list by default, B+-tree optional).
 	OrderedIndex index.OrderedKind
+	// Shards is the number of per-core store shards the window is
+	// partitioned into; batches fan store and probe work out across
+	// them in parallel. Zero means GOMAXPROCS; values are clamped to
+	// [1, index.MaxShards].
+	Shards int
 	// Unordered disables the ordering protocol, processing envelopes on
 	// arrival. Used by the Figure 8 experiment to demonstrate the
 	// missed/duplicate result anomalies the protocol prevents.
@@ -75,16 +82,25 @@ type Stats struct {
 }
 
 // Core is the synchronous join logic. It is not safe for concurrent
-// use; Service serializes access.
+// use; Service serializes access. Within one HandleBatch call the core
+// fans work out across per-shard goroutines, but that parallelism is
+// internal: by the time a Core method returns, no worker is running.
 type Core struct {
 	cfg     Config
 	prefix  string // registry name prefix, "joiner.<rel>.<id>."
-	idx     *index.Chained
+	idx     *index.Sharded
 	reorder *protocol.Reorderer
 	// seen makes redelivered tuples idempotent: the broker guarantees
 	// at-least-once delivery (manual acks, requeue on crash), and this
 	// (relation, seq) filter upgrades it to exactly-once processing.
 	seen *dedup.Set
+
+	// Batch-processing scratch, reused across HandleBatch calls so the
+	// steady state allocates nothing: the reorderer's release buffer and
+	// one shardRun per shard holding that shard's op list for the
+	// current batch.
+	releaseBuf []protocol.Envelope
+	runs       []*shardRun
 
 	received     *metrics.Counter
 	deduped      *metrics.Counter
@@ -123,10 +139,18 @@ func NewCore(cfg Config) (*Core, error) {
 			}
 		}
 	}
-	idx, err := index.NewChained(
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > index.MaxShards {
+		cfg.Shards = index.MaxShards
+	}
+	idx, err := index.NewSharded(
 		index.ForPredicateOrdered(cfg.Pred, cfg.Rel, cfg.OrderedIndex),
 		cfg.ArchivePeriod.Milliseconds(),
 		cfg.Window,
+		cfg.Pred.IndexAttr(cfg.Rel),
+		cfg.Shards,
 	)
 	if err != nil {
 		return nil, err
@@ -135,7 +159,7 @@ func NewCore(cfg Config) (*Core, error) {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	prefix := fmt.Sprintf("joiner.%s.%d.", cfg.Rel, cfg.ID)
-	return &Core{
+	c := &Core{
 		cfg:          cfg,
 		prefix:       prefix,
 		idx:          idx,
@@ -152,11 +176,21 @@ func NewCore(cfg Config) (*Core, error) {
 		migratedIn:   cfg.Metrics.Counter(prefix + "migrated_in_tuples"),
 		migratedSegs: cfg.Metrics.Counter(prefix + "migrated_in_segments"),
 		latency:      cfg.Metrics.Histogram(prefix + "order_wait_ns"),
-	}, nil
+	}
+	c.runs = make([]*shardRun, idx.NumShards())
+	for i := range c.runs {
+		r := &shardRun{core: c, shard: idx.Shard(i)}
+		r.visit = r.visitOne // bind once; per-probe closures would allocate
+		c.runs[i] = r
+	}
+	return c, nil
 }
 
 // ID returns the member id.
 func (c *Core) ID() int32 { return c.cfg.ID }
+
+// NumShards returns the number of store shards.
+func (c *Core) NumShards() int { return c.idx.NumShards() }
 
 // Rel returns the relation this joiner stores.
 func (c *Core) Rel() tuple.Relation { return c.cfg.Rel }
@@ -193,7 +227,8 @@ func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tupl
 	if env.Kind == protocol.KindTuple && env.RecvNanos == 0 {
 		env.RecvNanos = time.Now().UnixNano()
 	}
-	for _, e := range c.reorder.Add(env, src) {
+	c.releaseBuf = c.reorder.AddInto(env, src, c.releaseBuf[:0])
+	for _, e := range c.releaseBuf {
 		if e.RecvNanos != 0 {
 			c.latency.Observe(time.Now().UnixNano() - e.RecvNanos)
 		}
@@ -201,6 +236,255 @@ func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tupl
 			c.cfg.Trace.Observe(metrics.StageOrder, e.Tuple.TraceNS)
 		}
 		c.process(e, emit)
+	}
+	clearEnvelopes(c.releaseBuf)
+}
+
+// HandleBatch feeds a batch of envelopes from one source path into the
+// joiner: the whole batch drains into the reorder buffer first, then
+// every envelope the batch released is processed through the sharded
+// pipeline — one classification pass partitions store and probe work
+// across the shards, and the shards run in parallel when the batch is
+// big enough to pay for the goroutine handoff. Join results are passed
+// to emit (from the calling goroutine only) as each batch completes.
+//
+// Semantics match feeding the envelopes to Handle one at a time, except
+// that results within a batch are emitted grouped by shard rather than
+// strictly in release order — the result multiset is identical.
+func (c *Core) HandleBatch(envs []protocol.Envelope, src protocol.Source, emit func(tuple.JoinResult)) {
+	received := 0
+	release := c.releaseBuf[:0]
+	var now int64
+	for _, env := range envs {
+		if env.Kind == protocol.KindTuple {
+			received++
+			if env.Tuple != nil {
+				c.cfg.Trace.Observe(metrics.StageDeliver, env.Tuple.TraceNS)
+			}
+			if c.cfg.Unordered {
+				release = append(release, env)
+				continue
+			}
+			if env.RecvNanos == 0 {
+				if now == 0 {
+					now = time.Now().UnixNano()
+				}
+				env.RecvNanos = now
+			}
+		}
+		if !c.cfg.Unordered {
+			release = c.reorder.AddInto(env, src, release)
+		}
+	}
+	c.releaseBuf = release
+	if received > 0 {
+		c.received.Add(int64(received))
+	}
+	c.processReleased(release, emit)
+	clearEnvelopes(release)
+}
+
+// clearEnvelopes zeroes a spent release buffer so the reused backing
+// array does not pin tuples past their batch.
+func clearEnvelopes(envs []protocol.Envelope) {
+	for i := range envs {
+		envs[i] = protocol.Envelope{}
+	}
+}
+
+// parallelBatchMin is the released-batch size below which fanning out
+// to shard goroutines costs more than it saves; smaller batches run the
+// shards sequentially on the calling goroutine.
+const parallelBatchMin = 32
+
+// shardOp is one unit of work bound for a shard: a store of t into the
+// shard, or a probe of plan against it.
+type shardOp struct {
+	t     *tuple.Tuple
+	probe bool
+	plan  predicate.Plan
+}
+
+// shardRun is a shard's slice of the current batch plus everything its
+// worker needs without touching shared state: the op list built by the
+// classification pass, a result buffer drained (and cleared) by the
+// caller after the batch, and private tallies merged into the shared
+// counters once per batch. All fields are owned by exactly one
+// goroutine at a time — the classifier before the workers start, one
+// worker during the run, the caller after Wait.
+type shardRun struct {
+	core  *Core
+	shard *index.Chained
+	ops   []shardOp
+	visit func(*tuple.Tuple) bool
+
+	cur         *tuple.Tuple // tuple of the probe op being served
+	results     []tuple.JoinResult
+	comparisons int64
+	expired     int64
+}
+
+// visitOne is the probe candidate visitor, bound once as r.visit.
+func (r *shardRun) visitOne(stored *tuple.Tuple) bool {
+	r.comparisons++
+	var rt, st *tuple.Tuple
+	if r.core.cfg.Rel == tuple.R {
+		rt, st = stored, r.cur
+	} else {
+		rt, st = r.cur, stored
+	}
+	if r.core.cfg.Window.Contains(stored.TS, r.cur.TS) && r.core.cfg.Pred.Match(rt, st) {
+		r.results = append(r.results, tuple.NewJoinResult(rt, st))
+	}
+	return true
+}
+
+// run executes the shard's op list in order. Expiry precedes each probe
+// (Theorem 1, as in the sequential path) and a final sweep at the
+// batch's max probe timestamp keeps shards no probe happened to visit
+// from accumulating stale sub-indexes.
+func (r *shardRun) run(maxProbeTS int64, hasProbe bool) {
+	for i := range r.ops {
+		op := &r.ops[i]
+		if !op.probe {
+			r.shard.Insert(op.t)
+			continue
+		}
+		r.expired += int64(r.shard.Expire(op.t.TS))
+		r.cur = op.t
+		r.shard.Probe(op.plan, r.visit)
+	}
+	if hasProbe {
+		r.expired += int64(r.shard.Expire(maxProbeTS))
+	}
+	r.cur = nil
+}
+
+// processReleased pushes released envelopes through the sharded
+// pipeline: classify sequentially (dedup and misroute checks are
+// order-sensitive and shared), partition into per-shard op lists, run
+// the shards, then drain results and merge tallies.
+func (c *Core) processReleased(released []protocol.Envelope, emit func(tuple.JoinResult)) {
+	if len(released) == 0 {
+		return
+	}
+	var dedupedN, storedN, probedN int64
+	var maxProbeTS int64
+	hasProbe := false
+	ordered := !c.cfg.Unordered
+	var now int64
+	for _, e := range released {
+		t := e.Tuple
+		if t == nil {
+			continue
+		}
+		if ordered && e.RecvNanos != 0 {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			c.latency.Observe(now - e.RecvNanos)
+		}
+		if ordered {
+			c.cfg.Trace.Observe(metrics.StageOrder, t.TraceNS)
+		}
+		if c.seen.SeenOrAdd(dedup.Key{uint64(t.Rel), t.Seq}) {
+			dedupedN++
+			continue
+		}
+		switch e.Stream {
+		case protocol.StreamStore:
+			if t.Rel != c.cfg.Rel {
+				continue // misrouted; a store copy must be our own relation
+			}
+			r := c.runs[c.idx.ShardFor(t)]
+			r.ops = append(r.ops, shardOp{t: t})
+			storedN++
+			c.cfg.Trace.Observe(metrics.StageStore, t.TraceNS)
+		case protocol.StreamJoin:
+			if t.Rel != c.cfg.Rel.Opposite() {
+				continue
+			}
+			plan := c.cfg.Pred.Plan(t)
+			if s := c.idx.ProbeShard(plan); s >= 0 {
+				r := c.runs[s]
+				r.ops = append(r.ops, shardOp{t: t, probe: true, plan: plan})
+			} else {
+				// Non-partitionable probe: every shard holds candidate
+				// tuples, so the probe op replicates into each shard's
+				// list. Each replica only scans its own shard, so the
+				// total candidate work matches the unsharded scan.
+				for _, r := range c.runs {
+					r.ops = append(r.ops, shardOp{t: t, probe: true, plan: plan})
+				}
+			}
+			probedN++
+			if !hasProbe || t.TS > maxProbeTS {
+				maxProbeTS = t.TS
+				hasProbe = true
+			}
+			c.cfg.Trace.Observe(metrics.StageProbe, t.TraceNS)
+		}
+	}
+	if len(c.runs) > 1 && len(released) >= parallelBatchMin {
+		var wg sync.WaitGroup
+		for _, r := range c.runs[1:] {
+			if len(r.ops) == 0 && !hasProbe {
+				continue
+			}
+			wg.Add(1)
+			go func(r *shardRun) {
+				defer wg.Done()
+				r.run(maxProbeTS, hasProbe)
+			}(r)
+		}
+		c.runs[0].run(maxProbeTS, hasProbe)
+		wg.Wait()
+	} else {
+		for _, r := range c.runs {
+			if len(r.ops) == 0 && !hasProbe {
+				continue
+			}
+			r.run(maxProbeTS, hasProbe)
+		}
+	}
+	var comparisonsN, expiredN, resultsN int64
+	for _, r := range c.runs {
+		comparisonsN += r.comparisons
+		expiredN += r.expired
+		r.comparisons, r.expired = 0, 0
+		for i := range r.results {
+			emit(r.results[i])
+		}
+		resultsN += int64(len(r.results))
+		for i := range r.results {
+			r.results[i] = tuple.JoinResult{} // drop tuple pointers
+		}
+		r.results = r.results[:0]
+		for i := range r.ops {
+			r.ops[i] = shardOp{}
+		}
+		r.ops = r.ops[:0]
+	}
+	if dedupedN > 0 {
+		c.deduped.Add(dedupedN)
+	}
+	if storedN > 0 {
+		c.stored.Add(storedN)
+	}
+	if probedN > 0 {
+		c.probed.Add(probedN)
+	}
+	if comparisonsN > 0 {
+		c.comparisons.Add(comparisonsN)
+	}
+	if resultsN > 0 {
+		c.results.Add(resultsN)
+	}
+	if expiredN > 0 {
+		c.expired.Add(expiredN)
+	}
+	if work := storedN + probedN + comparisonsN; work > 0 {
+		c.work.Add(work)
 	}
 }
 

@@ -63,11 +63,37 @@ type Service struct {
 	ckptErrors    *metrics.Counter
 }
 
-// pendingAck is one handled-but-unacknowledged delivery awaiting the
-// next checkpoint commit.
+// pendingAck is one handled-but-unacknowledged delivery batch awaiting
+// the next checkpoint commit.
 type pendingAck struct {
 	cons broker.Consumer
-	tag  uint64
+	tags []uint64
+}
+
+// batchAcker is the optional fast path a consumer may offer for
+// settling a whole delivery batch under one lock acquisition; consumers
+// without it get per-tag acks.
+type batchAcker interface {
+	AckBatch(tags []uint64) error
+}
+
+// ackBatch settles a batch of delivery tags, using the consumer's batch
+// path when it has one.
+func (s *Service) ackBatch(cons broker.Consumer, tags []uint64) {
+	if len(tags) == 0 {
+		return
+	}
+	if ba, ok := cons.(batchAcker); ok {
+		if err := ba.AckBatch(tags); err != nil {
+			s.ackErrors.Inc()
+		}
+		return
+	}
+	for _, tag := range tags {
+		if err := cons.Ack(tag); err != nil {
+			s.ackErrors.Inc()
+		}
+	}
 }
 
 // retryBacklogCap bounds the buffered result bodies during a broker
@@ -120,15 +146,19 @@ func NewService(core *Core, client broker.Client) *Service {
 	reg.GaugeFunc(prefix+"pending_acks", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return float64(len(s.pendingAcks))
+		n := 0
+		for _, a := range s.pendingAcks {
+			n += len(a.tags)
+		}
+		return float64(n)
 	})
 	s.ckptErrors = reg.Counter(prefix + "checkpoint_errors")
 	return s
 }
 
 // defaultCheckpointInterval paces checkpoints when the caller passes a
-// non-positive interval. It must stay well under the time 256 deliveries
-// (the consumer prefetch) take to arrive, or deferred acks would stall
+// non-positive interval. It must stay well under the time a prefetch
+// window of deliveries takes to arrive, or deferred acks would stall
 // the stream between rounds.
 const defaultCheckpointInterval = 250 * time.Millisecond
 
@@ -211,9 +241,10 @@ func (s *Service) Start() error {
 	// interval unacked until the covering epoch commits, so prefetch —
 	// not processing speed — caps throughput at prefetch/interval per
 	// queue. A deeper window keeps one interval of peak traffic in
-	// flight; without checkpointing acks are immediate and the smaller
-	// window bounds memory just as well.
-	prefetch := 256
+	// flight; without checkpointing acks land per batch and the window
+	// just needs to keep a couple of consume batches in flight so the
+	// batch gather never starves.
+	prefetch := 2 * maxConsumeBatch
 	if s.ckpt != nil {
 		prefetch = 4096
 	}
@@ -378,45 +409,96 @@ func (s *Service) ImportForeign(segs []index.Segment) error {
 	return s.core.Graft(segs)
 }
 
+// maxConsumeBatch caps how many deliveries one consume-loop wakeup
+// gathers before handing them to the core as a single batch. Large
+// enough to amortize the mutex, ack and checkpoint bookkeeping and to
+// let the core's shard fan-out pay off; small enough to keep the
+// latency a batch adds under the punctuation interval at typical rates.
+const maxConsumeBatch = 512
+
+// consumeLoop drains one queue in batches: block for the first
+// delivery, then gather whatever else is already queued (up to
+// maxConsumeBatch), decode outside the service mutex through a
+// slab-backed decoder, and hand the whole batch to the core in one
+// critical section. Acks are settled per batch — deferred to the next
+// checkpoint commit when checkpointing is on.
 func (s *Service) consumeLoop(cons broker.Consumer, src protocol.Source) {
 	defer s.wg.Done()
-	for d := range cons.Deliveries() {
-		if d.Redelivered {
-			s.redelivered.Inc()
-		}
-		env, err := protocol.UnmarshalEnvelope(d.Body)
-		if err != nil {
-			// Poison message: reject without requeue, which routes it to
-			// the dead-letter queue for inspection.
-			s.poison.Inc()
-			if err := cons.Nack(d.Tag, false); err != nil {
-				s.ackErrors.Inc()
+	var dec tuple.Decoder
+	envs := make([]protocol.Envelope, 0, maxConsumeBatch)
+	tags := make([]uint64, 0, maxConsumeBatch)
+	ch := cons.Deliveries()
+	for d := range ch {
+		envs, tags = envs[:0], tags[:0]
+		open := true
+		s.decodeDelivery(cons, d, &dec, &envs, &tags)
+	gather:
+		for len(envs) < maxConsumeBatch {
+			select {
+			case nd, ok := <-ch:
+				if !ok {
+					open = false
+					break gather
+				}
+				s.decodeDelivery(cons, nd, &dec, &envs, &tags)
+			default:
+				break gather
 			}
-			continue
 		}
-		s.mu.Lock()
-		s.core.Handle(env, src, s.emit)
-		s.drainRetryLocked()
-		deferAck := s.ckpt != nil
-		if deferAck {
-			s.pendingAcks = append(s.pendingAcks, pendingAck{cons, d.Tag})
-		}
-		s.mu.Unlock()
-		if deferAck {
-			// Checkpointed operation: the ack waits for the next
-			// checkpoint commit, so a cold crash can only lose deliveries
-			// the broker still holds unacked — and will redeliver.
-			continue
-		}
-		// Ack after the core fully handled the envelope: a crash before
-		// this point requeues it (at-least-once), and the core's dedup
-		// absorbs the redelivery. An ack that fails (connection lost in
-		// the window) leaves the delivery unacked server-side; it will be
-		// redelivered and suppressed the same way.
-		if err := cons.Ack(d.Tag); err != nil {
-			s.ackErrors.Inc()
+		s.handleBatch(cons, src, envs, tags)
+		clearEnvelopes(envs)
+		if !open {
+			return
 		}
 	}
+}
+
+// decodeDelivery decodes one delivery into the batch buffers. Poison
+// messages are rejected without requeue, which routes them to the
+// dead-letter queue for inspection.
+func (s *Service) decodeDelivery(cons broker.Consumer, d broker.Delivery, dec *tuple.Decoder, envs *[]protocol.Envelope, tags *[]uint64) {
+	if d.Redelivered {
+		s.redelivered.Inc()
+	}
+	env, err := protocol.DecodeEnvelope(d.Body, dec)
+	if err != nil {
+		s.poison.Inc()
+		if err := cons.Nack(d.Tag, false); err != nil {
+			s.ackErrors.Inc()
+		}
+		return
+	}
+	*envs = append(*envs, env)
+	*tags = append(*tags, d.Tag)
+}
+
+// handleBatch runs one decoded batch through the core and settles its
+// acks. The tag slice is copied when acks defer to a checkpoint,
+// because the caller reuses its backing array for the next batch.
+func (s *Service) handleBatch(cons broker.Consumer, src protocol.Source, envs []protocol.Envelope, tags []uint64) {
+	if len(envs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.core.HandleBatch(envs, src, s.emit)
+	s.drainRetryLocked()
+	deferAck := s.ckpt != nil
+	if deferAck && len(tags) > 0 {
+		s.pendingAcks = append(s.pendingAcks, pendingAck{cons, append([]uint64(nil), tags...)})
+	}
+	s.mu.Unlock()
+	if deferAck {
+		// Checkpointed operation: the acks wait for the next checkpoint
+		// commit, so a cold crash can only lose deliveries the broker
+		// still holds unacked — and will redeliver.
+		return
+	}
+	// Ack after the core fully handled the batch: a crash before this
+	// point requeues it (at-least-once), and the core's dedup absorbs
+	// the redeliveries. Acks that fail (connection lost in the window)
+	// leave the deliveries unacked server-side; they will be redelivered
+	// and suppressed the same way.
+	s.ackBatch(cons, tags)
 }
 
 // checkpointLoop snapshots the core every interval while the service
@@ -465,9 +547,7 @@ func (s *Service) checkpointNow() error {
 		return err
 	}
 	for _, a := range acks {
-		if err := a.cons.Ack(a.tag); err != nil {
-			s.ackErrors.Inc()
-		}
+		s.ackBatch(a.cons, a.tags)
 	}
 	return nil
 }
@@ -481,7 +561,11 @@ func (s *Service) CheckpointNow() error { return s.checkpointNow() }
 func (s *Service) PendingAcks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pendingAcks)
+	n := 0
+	for _, a := range s.pendingAcks {
+		n += len(a.tags)
+	}
+	return n
 }
 
 // retryLoop republishes buffered results while the stream is quiet, so

@@ -1,0 +1,206 @@
+package joiner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bistream/internal/predicate"
+	"bistream/internal/protocol"
+	"bistream/internal/tuple"
+)
+
+// resultKey fingerprints a join result for multiset comparison.
+func resultKey(jr tuple.JoinResult) string {
+	return fmt.Sprintf("%d|%d", jr.Left.Seq, jr.Right.Seq)
+}
+
+// workload builds a mixed store/join envelope stream with punctuation
+// interleaved every punctEvery tuples.
+func workload(seed int64, n int, pred func(i int) tuple.Value) (envs []protocol.Envelope, srcs []protocol.Source) {
+	rng := rand.New(rand.NewSource(seed))
+	counter := uint64(0)
+	seq := uint64(0)
+	ts := int64(1000)
+	for i := 0; i < n; i++ {
+		counter++
+		seq++
+		ts += rng.Int63n(20)
+		if rng.Intn(2) == 0 {
+			envs = append(envs, storeEnv(counter, tuple.New(tuple.R, seq, ts, pred(i))))
+			srcs = append(srcs, protocol.SourceStore)
+		} else {
+			envs = append(envs, joinEnv(counter, tuple.New(tuple.S, seq, ts, pred(i))))
+			srcs = append(srcs, protocol.SourceJoin)
+		}
+		if i%16 == 15 {
+			counter++
+			for _, src := range []protocol.Source{protocol.SourceStore, protocol.SourceJoin} {
+				envs = append(envs, protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: counter})
+				srcs = append(srcs, src)
+			}
+		}
+	}
+	// Final punctuation flushes everything.
+	counter++
+	for _, src := range []protocol.Source{protocol.SourceStore, protocol.SourceJoin} {
+		envs = append(envs, protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: counter})
+		srcs = append(srcs, protocol.Source(src))
+	}
+	return envs, srcs
+}
+
+func runHandle(t *testing.T, c *Core, envs []protocol.Envelope, srcs []protocol.Source) []string {
+	t.Helper()
+	var out []string
+	collect := func(jr tuple.JoinResult) { out = append(out, resultKey(jr)) }
+	for i, e := range envs {
+		c.Handle(e, srcs[i], collect)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runHandleBatch drives the same stream through HandleBatch in large
+// per-source chunks, exercising the parallel shard fan-out (batches
+// comfortably exceed parallelBatchMin).
+func runHandleBatch(t *testing.T, c *Core, envs []protocol.Envelope, srcs []protocol.Source) []string {
+	t.Helper()
+	var out []string
+	collect := func(jr tuple.JoinResult) { out = append(out, resultKey(jr)) }
+	var batch []protocol.Envelope
+	cur := protocol.SourceStore
+	flush := func() {
+		if len(batch) > 0 {
+			c.HandleBatch(batch, cur, collect)
+			batch = batch[:0]
+		}
+	}
+	for i, e := range envs {
+		if srcs[i] != cur {
+			flush()
+			cur = srcs[i]
+		}
+		batch = append(batch, e)
+	}
+	flush()
+	sort.Strings(out)
+	return out
+}
+
+// TestShardedMatchesSingleShard is the core equivalence property: the
+// sharded batched pipeline must produce exactly the result multiset of
+// a one-shard core fed the same envelopes one at a time, for both
+// partitionable (equi) and fan-out (band) predicates.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	preds := []struct {
+		name string
+		pred predicate.Predicate
+		key  func(i int) tuple.Value
+	}{
+		{"equi", predicate.NewEqui(0, 0), func(i int) tuple.Value { return tuple.Int(int64(i % 7)) }},
+		{"band", predicate.NewBand(0, 0, 2), func(i int) tuple.Value { return tuple.Float(float64(i % 40)) }},
+	}
+	for _, pc := range preds {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", pc.name, seed), func(t *testing.T) {
+				envs, srcs := workload(seed, 400, pc.key)
+				single, err := NewCore(Config{Rel: tuple.R, Pred: pc.pred, Window: testWin(), Shards: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				single.AddRouter(1)
+				sharded, err := NewCore(Config{Rel: tuple.R, Pred: pc.pred, Window: testWin(), Shards: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sharded.AddRouter(1)
+				want := runHandle(t, single, envs, srcs)
+				got := runHandleBatch(t, sharded, envs, srcs)
+				if len(got) != len(want) {
+					t.Fatalf("sharded produced %d results, single produced %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("result %d differs: %s vs %s", i, got[i], want[i])
+					}
+				}
+				ss, gs := single.Stats(), sharded.Stats()
+				if gs.Stored != ss.Stored || gs.Probed != ss.Probed || gs.Results != ss.Results {
+					t.Fatalf("counter drift: sharded stored=%d probed=%d results=%d, single stored=%d probed=%d results=%d",
+						gs.Stored, gs.Probed, gs.Results, ss.Stored, ss.Probed, ss.Results)
+				}
+			})
+		}
+	}
+}
+
+// TestHandleBatchDedupsRedeliveries: feeding the same batch twice must
+// not double-store or re-emit (the exactly-once filter works batched).
+func TestHandleBatchDedupsRedeliveries(t *testing.T) {
+	c, err := NewCore(Config{Rel: tuple.R, Pred: predicate.NewEqui(0, 0), Window: testWin(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddRouter(1)
+	envs, srcs := workload(9, 200, func(i int) tuple.Value { return tuple.Int(int64(i % 5)) })
+	first := runHandleBatch(t, c, envs, srcs)
+	if len(first) == 0 {
+		t.Fatal("workload produced no results")
+	}
+	second := runHandleBatch(t, c, envs, srcs)
+	if len(second) != 0 {
+		t.Fatalf("redelivered batch re-emitted %d results", len(second))
+	}
+	if dd := c.Stats().Deduped; dd == 0 {
+		t.Fatal("dedup counter did not move")
+	}
+}
+
+// TestShardedSnapshotRestoreRoundTrip: a sharded core's snapshot
+// restores into cores with the same and with a different shard count,
+// and both continue producing correct results.
+func TestShardedSnapshotRestoreRoundTrip(t *testing.T) {
+	src, err := NewCore(Config{Rel: tuple.R, Pred: predicate.NewEqui(0, 0), Window: testWin(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.AddRouter(1)
+	envs, srcs := workload(13, 300, func(i int) tuple.Value { return tuple.Int(int64(i % 9)) })
+	runHandleBatch(t, src, envs, srcs)
+	snap := src.Snapshot()
+	var wantResults []tuple.JoinResult
+	probe2 := tuple.New(tuple.S, 100_001, 7000, tuple.Int(3))
+	src.Handle(joinEnv(1_000_002, probe2), protocol.SourceJoin, func(jr tuple.JoinResult) {
+		wantResults = append(wantResults, jr)
+	})
+	punct2 := protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: 1_000_003}
+	src.Handle(punct2, protocol.SourceStore, func(jr tuple.JoinResult) { wantResults = append(wantResults, jr) })
+	src.Handle(punct2, protocol.SourceJoin, func(jr tuple.JoinResult) { wantResults = append(wantResults, jr) })
+	for _, shards := range []int{3, 5} {
+		restored, err := NewCore(Config{Rel: tuple.R, Pred: predicate.NewEqui(0, 0), Window: testWin(), Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Restore(snap); err != nil {
+			t.Fatalf("restore into %d shards: %v", shards, err)
+		}
+		if restored.idx.Len() != src.idx.Len() {
+			t.Fatalf("restored window len=%d, want %d", restored.idx.Len(), src.idx.Len())
+		}
+		// A probe on the restored core joins against the full window.
+		var results []tuple.JoinResult
+		probe := tuple.New(tuple.S, 100_000, 7000, tuple.Int(3))
+		restored.Handle(joinEnv(1_000_000, probe), protocol.SourceJoin, func(jr tuple.JoinResult) {
+			results = append(results, jr)
+		})
+		punct := protocol.Envelope{Kind: protocol.KindPunctuation, RouterID: 1, Counter: 1_000_001}
+		restored.Handle(punct, protocol.SourceStore, func(jr tuple.JoinResult) { results = append(results, jr) })
+		restored.Handle(punct, protocol.SourceJoin, func(jr tuple.JoinResult) { results = append(results, jr) })
+		if len(results) != len(wantResults) {
+			t.Fatalf("restored core with %d shards produced %d results for the probe, want %d",
+				shards, len(results), len(wantResults))
+		}
+	}
+}

@@ -51,12 +51,27 @@ const (
 // Plan tells an index how to locate join candidates. Candidates are
 // verified with Predicate.Match, so a plan may over-approximate.
 type Plan struct {
-	Kind  PlanKind
-	Key   tuple.Value // ProbePoint
-	Lo    tuple.Value // ProbeRange; invalid Value = unbounded
-	Hi    tuple.Value // ProbeRange; invalid Value = unbounded
-	LoInc bool
-	HiInc bool
+	Kind PlanKind
+	Key  tuple.Value // ProbePoint
+	// KeyHash optionally carries Key.Hash(), computed once at plan build
+	// so a point probe walking a chain of hash sub-indexes does not
+	// rehash per sub-index. Zero means "not precomputed": consumers fall
+	// back to Key.Hash(), which stays correct even for a key whose real
+	// hash is zero (the recomputation returns the same value).
+	KeyHash uint64
+	Lo      tuple.Value // ProbeRange; invalid Value = unbounded
+	Hi      tuple.Value // ProbeRange; invalid Value = unbounded
+	LoInc   bool
+	HiInc   bool
+}
+
+// HashOfKey returns the point-probe key's hash, using the precomputed
+// KeyHash when present.
+func (p Plan) HashOfKey() uint64 {
+	if p.KeyHash != 0 {
+		return p.KeyHash
+	}
+	return p.Key.Hash()
 }
 
 // Equi is the equality join R.attr = S.attr.
@@ -84,7 +99,8 @@ func (p Equi) IndexAttr(rel tuple.Relation) int {
 // Plan implements Predicate: a point probe with the probing tuple's own
 // join attribute.
 func (p Equi) Plan(probe *tuple.Tuple) Plan {
-	return Plan{Kind: ProbePoint, Key: probe.Value(p.IndexAttr(probe.Rel))}
+	key := probe.Value(p.IndexAttr(probe.Rel))
+	return Plan{Kind: ProbePoint, Key: key, KeyHash: key.Hash()}
 }
 
 // Partitionable implements Predicate: equality is hash-partitionable.

@@ -16,7 +16,6 @@
 package protocol
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -89,6 +88,15 @@ func (e Envelope) Marshal() []byte {
 
 // UnmarshalEnvelope decodes an envelope.
 func UnmarshalEnvelope(data []byte) (Envelope, error) {
+	return DecodeEnvelope(data, nil)
+}
+
+// DecodeEnvelope decodes an envelope, drawing the tuple allocation from
+// dec when it is non-nil — the batch hot path: a consume loop decoding
+// hundreds of envelopes per wakeup amortizes its tuple allocations
+// across the decoder's slabs. A nil dec behaves exactly like
+// UnmarshalEnvelope.
+func DecodeEnvelope(data []byte, dec *tuple.Decoder) (Envelope, error) {
 	if len(data) < 13 {
 		return Envelope{}, fmt.Errorf("protocol: short envelope (%d bytes)", len(data))
 	}
@@ -111,7 +119,13 @@ func UnmarshalEnvelope(data []byte) (Envelope, error) {
 		if e.Stream != StreamStore && e.Stream != StreamJoin {
 			return Envelope{}, fmt.Errorf("protocol: bad stream byte %d", data[13])
 		}
-		t, err := tuple.Unmarshal(data[14:])
+		var t *tuple.Tuple
+		var err error
+		if dec != nil {
+			t, err = dec.Unmarshal(data[14:])
+		} else {
+			t, err = tuple.Unmarshal(data[14:])
+		}
 		if err != nil {
 			return Envelope{}, err
 		}
@@ -217,6 +231,18 @@ type Reorderer struct {
 	pending  envHeap
 	released uint64
 	maxDepth int
+
+	// minCache holds minFrontier()'s value while minDirty is false, so
+	// the per-envelope release check is one comparison instead of a map
+	// iteration. Mutations that can lower or raise the minimum (retire,
+	// restore, raising the path that holds it) set minDirty.
+	minCache uint64
+	minDirty bool
+	// lastAdd short-circuits AddRouter's registered-check for the path
+	// that registered most recently — the steady state is thousands of
+	// envelopes from the same (router, source) per punctuation period.
+	lastAdd   frontKey
+	lastAddOK bool
 }
 
 // NewReorderer creates an empty reorder buffer. Router paths must be
@@ -231,9 +257,15 @@ func NewReorderer() *Reorderer {
 // period).
 func (r *Reorderer) AddRouter(id int32, source Source) {
 	k := frontKey{id, source}
+	if r.lastAddOK && k == r.lastAdd {
+		return
+	}
 	if _, ok := r.frontier[k]; !ok {
 		r.frontier[k] = 0
+		// A fresh path's frontier is 0, so it is the minimum.
+		r.minCache, r.minDirty = 0, false
 	}
+	r.lastAdd, r.lastAddOK = k, true
 }
 
 // RemoveRouter unregisters all paths of a router (scale-in).
@@ -243,6 +275,7 @@ func (r *Reorderer) RemoveRouter(id int32) {
 			delete(r.frontier, k)
 		}
 	}
+	r.minDirty, r.lastAddOK = true, false
 }
 
 // RemoveRouterAndRelease unregisters a router and returns the envelopes
@@ -259,18 +292,33 @@ func (r *Reorderer) Routers() int { return len(r.frontier) }
 // Add buffers a tuple envelope arriving on the given source path and
 // returns any envelopes that are now releasable, in order.
 func (r *Reorderer) Add(e Envelope, source Source) []Envelope {
+	return r.AddInto(e, source, nil)
+}
+
+// AddInto is Add with a caller-owned release buffer: releasable
+// envelopes are appended to out and the extended slice returned, so a
+// batch consume loop can drain many deliveries into one reused slice
+// instead of allocating a fresh one per envelope.
+func (r *Reorderer) AddInto(e Envelope, source Source, out []Envelope) []Envelope {
 	switch e.Kind {
 	case KindPunctuation:
-		return r.Punctuate(e.RouterID, source, e.Counter)
+		k := frontKey{e.RouterID, source}
+		if cur, ok := r.frontier[k]; !ok || e.Counter > cur {
+			r.frontier[k] = e.Counter
+			r.minDirty = true
+		}
+		return r.releaseInto(out)
 	case KindRetire:
-		return r.Retire(e.RouterID, source)
+		delete(r.frontier, frontKey{e.RouterID, source})
+		r.minDirty, r.lastAddOK = true, false
+		return r.releaseInto(out)
 	}
 	r.AddRouter(e.RouterID, source) // seeing traffic implies the path exists
-	heap.Push(&r.pending, e)
+	r.pending.push(e)
 	if len(r.pending) > r.maxDepth {
 		r.maxDepth = len(r.pending)
 	}
-	return r.release()
+	return r.releaseInto(out)
 }
 
 // Punctuate advances a router path's frontier (from a punctuation
@@ -279,6 +327,7 @@ func (r *Reorderer) Punctuate(routerID int32, source Source, counter uint64) []E
 	k := frontKey{routerID, source}
 	if cur, ok := r.frontier[k]; !ok || counter > cur {
 		r.frontier[k] = counter
+		r.minDirty = true
 	}
 	return r.release()
 }
@@ -287,6 +336,7 @@ func (r *Reorderer) Punctuate(routerID int32, source Source, counter uint64) []E
 // router's tombstone and returns the envelopes its removal unblocks.
 func (r *Reorderer) Retire(routerID int32, source Source) []Envelope {
 	delete(r.frontier, frontKey{routerID, source})
+	r.minDirty, r.lastAddOK = true, false
 	return r.release()
 }
 
@@ -300,6 +350,9 @@ func (r *Reorderer) MinFrontier() uint64 { return r.minFrontier() }
 // minFrontier computes the smallest punctuated counter over registered
 // routers; envelopes at or below it are safe to process.
 func (r *Reorderer) minFrontier() uint64 {
+	if !r.minDirty {
+		return r.minCache
+	}
 	first := true
 	var m uint64
 	for _, c := range r.frontier {
@@ -309,16 +362,20 @@ func (r *Reorderer) minFrontier() uint64 {
 		}
 	}
 	if first {
-		return 0
+		m = 0
 	}
+	r.minCache, r.minDirty = m, false
 	return m
 }
 
 func (r *Reorderer) release() []Envelope {
+	return r.releaseInto(nil)
+}
+
+func (r *Reorderer) releaseInto(out []Envelope) []Envelope {
 	m := r.minFrontier()
-	var out []Envelope
 	for len(r.pending) > 0 && r.pending[0].Counter <= m {
-		out = append(out, heap.Pop(&r.pending).(Envelope))
+		out = append(out, r.pending.pop())
 		r.released++
 	}
 	return out
@@ -361,16 +418,17 @@ func (r *Reorderer) Restore(fronts []Frontier, pending []Envelope) {
 	for _, f := range fronts {
 		r.frontier[frontKey{f.Router, f.Source}] = f.Counter
 	}
+	r.minDirty, r.lastAddOK = true, false
 	r.pending = make(envHeap, len(pending))
 	copy(r.pending, pending)
-	heap.Init(&r.pending)
+	r.pending.init()
 }
 
 // Flush releases everything regardless of frontiers (engine shutdown).
 func (r *Reorderer) Flush() []Envelope {
 	out := make([]Envelope, 0, len(r.pending))
 	for len(r.pending) > 0 {
-		out = append(out, heap.Pop(&r.pending).(Envelope))
+		out = append(out, r.pending.pop())
 		r.released++
 	}
 	return out
@@ -387,21 +445,64 @@ func (r *Reorderer) Released() uint64 { return r.released }
 func (r *Reorderer) MaxDepth() int { return r.maxDepth }
 
 // envHeap orders envelopes by (counter, routerID): the global sequence.
+// The sift operations are hand-rolled rather than going through
+// container/heap so push and pop stay monomorphic — no interface boxing
+// of Envelope values on the per-tuple hot path.
 type envHeap []Envelope
 
-func (h envHeap) Len() int { return len(h) }
-func (h envHeap) Less(i, j int) bool {
+func (h envHeap) less(i, j int) bool {
 	if h[i].Counter != h[j].Counter {
 		return h[i].Counter < h[j].Counter
 	}
 	return h[i].RouterID < h[j].RouterID
 }
-func (h envHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *envHeap) Push(x any)   { *h = append(*h, x.(Envelope)) }
-func (h *envHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *envHeap) push(e Envelope) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *envHeap) pop() Envelope {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = Envelope{} // drop the Tuple pointer so the GC can reclaim it
+	s = s[:n]
+	*h = s
+	s.siftDown(0)
+	return top
+}
+
+func (h envHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h.less(l, m) {
+			m = l
+		}
+		if r < len(h) && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h envHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }

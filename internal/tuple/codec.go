@@ -96,13 +96,26 @@ func UnmarshalPair(data []byte) (*Tuple, *Tuple, error) {
 }
 
 func consume(data []byte) (*Tuple, []byte, error) {
+	t := new(Tuple)
+	rest, err := parseInto(t, data, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rest, nil
+}
+
+// parseInto decodes one tuple from the front of data into t, returning
+// the unconsumed remainder. With a non-nil Decoder the value slice is
+// carved out of the decoder's current slab instead of freshly
+// allocated; on error the slab is left unchanged.
+func parseInto(t *Tuple, data []byte, d *Decoder) ([]byte, error) {
 	if len(data) < 17 {
-		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
 	traced := data[0]&traceFlag != 0
 	rel := Relation(data[0] &^ traceFlag)
 	if rel != R && rel != S {
-		return nil, nil, fmt.Errorf("%w: bad relation byte %d", ErrCorrupt, data[0])
+		return nil, fmt.Errorf("%w: bad relation byte %d", ErrCorrupt, data[0])
 	}
 	seq := binary.LittleEndian.Uint64(data[1:9])
 	ts := int64(binary.LittleEndian.Uint64(data[9:17]))
@@ -110,55 +123,70 @@ func consume(data []byte) (*Tuple, []byte, error) {
 	var traceNS int64
 	if traced {
 		if len(data) < 8 {
-			return nil, nil, fmt.Errorf("%w: truncated trace stamp", ErrCorrupt)
+			return nil, fmt.Errorf("%w: truncated trace stamp", ErrCorrupt)
 		}
 		traceNS = int64(binary.LittleEndian.Uint64(data[:8]))
 		if traceNS == 0 {
 			// A flagged-but-zero stamp would not round-trip (the encoder
 			// only flags nonzero stamps); reject it as non-canonical.
-			return nil, nil, fmt.Errorf("%w: zero trace stamp", ErrCorrupt)
+			return nil, fmt.Errorf("%w: zero trace stamp", ErrCorrupt)
 		}
 		data = data[8:]
 	}
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return nil, nil, fmt.Errorf("%w: bad value count", ErrCorrupt)
+		return nil, fmt.Errorf("%w: bad value count", ErrCorrupt)
 	}
 	data = data[sz:]
 	if n > uint64(len(data)) { // each value needs at least 1 byte
-		return nil, nil, fmt.Errorf("%w: value count %d exceeds payload", ErrCorrupt, n)
+		return nil, fmt.Errorf("%w: value count %d exceeds payload", ErrCorrupt, n)
 	}
-	values := make([]Value, 0, n)
+	var values []Value
+	base := 0
+	if d != nil {
+		values = d.valueSlab(int(n))
+		base = len(values)
+	} else {
+		values = make([]Value, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		if len(data) < 1 {
-			return nil, nil, fmt.Errorf("%w: truncated value", ErrCorrupt)
+			return nil, fmt.Errorf("%w: truncated value", ErrCorrupt)
 		}
 		kind := Kind(data[0])
 		data = data[1:]
 		switch kind {
 		case KindInt:
 			if len(data) < 8 {
-				return nil, nil, fmt.Errorf("%w: truncated int", ErrCorrupt)
+				return nil, fmt.Errorf("%w: truncated int", ErrCorrupt)
 			}
 			values = append(values, Int(int64(binary.LittleEndian.Uint64(data))))
 			data = data[8:]
 		case KindFloat:
 			if len(data) < 8 {
-				return nil, nil, fmt.Errorf("%w: truncated float", ErrCorrupt)
+				return nil, fmt.Errorf("%w: truncated float", ErrCorrupt)
 			}
 			values = append(values, Float(math.Float64frombits(binary.LittleEndian.Uint64(data))))
 			data = data[8:]
 		case KindString:
 			l, sz := binary.Uvarint(data)
 			if sz <= 0 || l > uint64(len(data)-sz) {
-				return nil, nil, fmt.Errorf("%w: truncated string", ErrCorrupt)
+				return nil, fmt.Errorf("%w: truncated string", ErrCorrupt)
 			}
 			data = data[sz:]
 			values = append(values, String(string(data[:l])))
 			data = data[l:]
 		default:
-			return nil, nil, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
+			return nil, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
 		}
 	}
-	return &Tuple{Rel: rel, Seq: seq, TS: ts, Values: values, TraceNS: traceNS}, data, nil
+	if d != nil {
+		d.values = values
+		// Cap the tuple's view at its own values so a later append through
+		// the tuple (which immutability forbids anyway) could never step on
+		// the next tuple's slab region.
+		values = values[base:len(values):len(values)]
+	}
+	*t = Tuple{Rel: rel, Seq: seq, TS: ts, Values: values, TraceNS: traceNS}
+	return data, nil
 }

@@ -1,0 +1,151 @@
+package tuple
+
+import (
+	"testing"
+)
+
+func decodeCases() []*Tuple {
+	traced := New(R, 5, 50, Int(99))
+	traced.TraceNS = 1234
+	return []*Tuple{
+		New(R, 1, 10, Int(7)),
+		New(S, 2, 20, Int(-3), Float(2.5)),
+		New(R, 3, 30),
+		New(S, 4, 40, String("hello"), String(""), Int(0)),
+		traced,
+	}
+}
+
+func wantSameTuple(t *testing.T, got, want *Tuple) {
+	t.Helper()
+	if got.Rel != want.Rel || got.Seq != want.Seq || got.TS != want.TS || got.TraceNS != want.TraceNS {
+		t.Fatalf("header mismatch: got %+v, want %+v", got, want)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("got %d values, want %d", len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		if !got.Values[i].Equal(want.Values[i]) || got.Values[i].Kind() != want.Values[i].Kind() {
+			t.Fatalf("value %d: got %#v, want %#v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestDecoderMatchesUnmarshal(t *testing.T) {
+	var d Decoder
+	for _, want := range decodeCases() {
+		body := Marshal(want)
+		got, err := d.Unmarshal(body)
+		if err != nil {
+			t.Fatalf("Decoder.Unmarshal(%v): %v", want, err)
+		}
+		wantSameTuple(t, got, want)
+		plain, err := Unmarshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSameTuple(t, got, plain)
+	}
+}
+
+func TestDecoderEarlierTuplesSurviveChunkGrowth(t *testing.T) {
+	var d Decoder
+	// Decode far more tuples than one chunk holds and verify pointers
+	// handed out before every chunk rollover still read correctly: the
+	// decoder must never recycle a slab in place.
+	const n = 3 * decoderTupleChunk
+	got := make([]*Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		body := Marshal(New(R, uint64(i), int64(i), Int(int64(i)), String("v")))
+		tp, err := d.Unmarshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tp)
+	}
+	for i, tp := range got {
+		if tp.Seq != uint64(i) || tp.TS != int64(i) {
+			t.Fatalf("tuple %d corrupted: %+v", i, tp)
+		}
+		if v := tp.Values[0]; v.AsInt() != int64(i) {
+			t.Fatalf("tuple %d value corrupted: %#v", i, v)
+		}
+		if v := tp.Values[1]; v.AsString() != "v" {
+			t.Fatalf("tuple %d string corrupted: %#v", i, v)
+		}
+	}
+}
+
+func TestDecoderWideTupleGetsOwnSlab(t *testing.T) {
+	var d Decoder
+	vals := make([]Value, 2*decoderValueChunk)
+	for i := range vals {
+		vals[i] = Int(int64(i))
+	}
+	wide := New(R, 1, 1, vals...)
+	got, err := d.Unmarshal(Marshal(wide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameTuple(t, got, wide)
+	// And the decoder still works for the next (normal) tuple.
+	next, err := d.Unmarshal(Marshal(New(S, 2, 2, Int(5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Values[0].AsInt() != 5 {
+		t.Fatalf("tuple after wide decode corrupted: %+v", next)
+	}
+}
+
+func TestDecoderRejectsCorrupt(t *testing.T) {
+	var d Decoder
+	good := Marshal(New(R, 1, 10, Int(7)))
+	cases := [][]byte{
+		nil,
+		good[:3],
+		good[:len(good)-2],
+		append(append([]byte{}, good...), 0xff), // trailing byte
+		{0x07, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // bad relation
+	}
+	for i, body := range cases {
+		if _, err := d.Unmarshal(body); err == nil {
+			t.Errorf("case %d: corrupt body decoded without error", i)
+		}
+	}
+	// The decoder stays usable after errors and hands back the slots.
+	got, err := d.Unmarshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || got.Values[0].AsInt() != 7 {
+		t.Fatalf("decode after errors corrupted: %+v", got)
+	}
+}
+
+// BenchmarkDecodeBatch measures the batched decode path against the
+// allocation profile the consume loop sees: one slab-backed decoder
+// amortizing tuple and value allocations across a stream of bodies.
+func BenchmarkDecodeBatch(b *testing.B) {
+	bodies := make([][]byte, 512)
+	for i := range bodies {
+		bodies[i] = Marshal(New(R, uint64(i), int64(i), Int(int64(i%1000)), Int(int64(i))))
+	}
+	b.Run("decoder", func(b *testing.B) {
+		var d Decoder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Unmarshal(bodies[i%len(bodies)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Unmarshal(bodies[i%len(bodies)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -52,6 +52,14 @@ func WithOrderedIndex(kind index.OrderedKind) Option {
 	return func(c *Config) { c.OrderedIndex = kind }
 }
 
+// WithShards sets the number of per-core store shards each joiner
+// partitions its window into (0 = GOMAXPROCS). One shard disables the
+// parallel fan-out, useful for single-core deployments and as the
+// baseline in scaling measurements.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 // WithPunctuationInterval paces the tuple ordering protocol's signals.
 func WithPunctuationInterval(d time.Duration) Option {
 	return func(c *Config) { c.PunctuationInterval = d }
