@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet doclint linkcheck fuzz-smoke bench-smoke check bench bench-json bench-diff clean
+.PHONY: build test race vet doclint linkcheck fuzz-smoke bench-smoke bench-gate check bench bench-json bench-diff clean
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,8 @@ race:
 	$(GO) test -race ./...
 
 # Documentation gates: every internal/ package needs a package doc
-# comment (checkpoint/core/migrate additionally document every exported
-# symbol), and every relative markdown link must resolve.
+# comment (checkpoint/core/migrate/router/sketch additionally document
+# every exported symbol), and every relative markdown link must resolve.
 doclint:
 	$(GO) run ./tools/doclint
 
@@ -49,6 +49,17 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'EngineIngest' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+
+# Perf-regression gate against the checked-in baseline snapshot: short
+# amortized runs of the ingest benches, converted with benchjson and
+# diffed with benchdiff. One-iteration smoke numbers are setup-dominated
+# and useless to diff, so this runs 0.3s per bench instead; that keeps
+# allocs/op exact (the gate that matters) while ns/op stays noisy on
+# shared CI runners, hence the deliberately loose 75% time limit.
+BENCH_BASELINE ?= BENCH_20260809.json
+bench-gate:
+	$(GO) test -run '^$$' -bench 'EngineIngest' -benchmem -benchtime 0.3s . | $(GO) run ./tools/benchjson > BENCH_ci.json
+	$(GO) run ./tools/benchdiff -max-ns-regression 75 $(BENCH_BASELINE) BENCH_ci.json && rm -f BENCH_ci.json
 
 # The gate new changes must pass before merging.
 check: vet build race doclint linkcheck fuzz-smoke bench-smoke

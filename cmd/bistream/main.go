@@ -6,7 +6,7 @@
 //
 //	bistream run [-predicate 'equi(0,0)'] [-rate 300] [-duration 10s] ...
 //	bistream status
-//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|brokerfail|joinerscale|all}
+//	bistream exp {fig20|fig21|models|ordering|chain|routing|scaleout|scalein|heap|brokerfail|joinerscale|skewdrift|all}
 package main
 
 import (
@@ -49,7 +49,7 @@ func usage() {
   bistream run    [flags]   run a self-contained engine on a synthetic workload
   bistream status           print the Figure 14/16/17/18/19 deployment tables
   bistream exp    <name>    regenerate an experiment:
-                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap brokerfail joinerscale all
+                            fig20 fig21 models ordering chain routing punctuation scaleout scalein heap brokerfail joinerscale skewdrift all
 `)
 	os.Exit(2)
 }
@@ -185,7 +185,7 @@ func cmdExp(args []string) {
 		usage()
 	}
 	if names[0] == "all" {
-		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "joinerscale", "fig20", "fig21", "heap", "brokerfail"}
+		names = []string{"models", "ordering", "chain", "routing", "punctuation", "scaleout", "scalein", "joinerscale", "skewdrift", "fig20", "fig21", "heap", "brokerfail"}
 	}
 	for _, name := range names {
 		if err := runExperiment(name, *csvDir); err != nil {
@@ -301,6 +301,13 @@ func runExperiment(name, csvDir string) error {
 			return err
 		}
 		fmt.Print(experiments.FormatJoinerScaleRows(rows))
+	case "skewdrift":
+		fmt.Println("=== E14: drifting skew — static hash vs ContRand vs adaptive key migration ===")
+		rows, err := experiments.RunSkewDrift(experiments.DefaultSkewDriftConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSkewDriftRows(rows))
 	case "brokerfail":
 		fmt.Println("=== E12: replicated broker log — quorum cost and leader failover ===")
 		cfg := experiments.DefaultBrokerFailConfig()

@@ -10,7 +10,8 @@
 //
 //	routerd -broker localhost:5672 -id 0 \
 //	        -predicate 'equi(0,0)' -window 10m \
-//	        -r-joiners 2 -s-joiners 2 [-r-subgroups 2 -s-subgroups 2]
+//	        -r-joiners 2 -s-joiners 2 [-r-subgroups 2 -s-subgroups 2] \
+//	        [-contrand -hot-fraction 0.01 -pin-hot 7,42]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +46,9 @@ func main() {
 		punct       = flag.Duration("punctuation", 20*time.Millisecond, "punctuation interval")
 		metricsAddr = flag.String("metrics", "", "observability HTTP address (/metrics, /debug/pprof; empty to disable)")
 		traceSample = flag.Int("trace-sample", 0, "trace 1-in-N tuples through the stage histograms (0 = default, <0 = off)")
+		contRand    = flag.Bool("contrand", false, "frequency-aware routing: scatter stores / broadcast probes for hot keys (partitionable predicates only)")
+		hotFraction = flag.Float64("hot-fraction", 0.01, "traffic share above which a key is treated as hot (with -contrand)")
+		pinHot      = flag.String("pin-hot", "", "comma-separated integer key values pinned hot at startup (with -contrand)")
 	)
 	flag.Parse()
 	log.SetPrefix("routerd: ")
@@ -52,6 +57,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A standalone router's HotTracker is per-process: with several
+	// routerd instances each tracks (and agrees on sufficiently skewed
+	// traffic about) its own hot set, but there is no engine-side
+	// adaptation controller here — placement flips, piles stored before
+	// a promotion stay where hash routing put them until they expire.
+	// Built before the broker connection so flag mistakes fail fast
+	// instead of hiding behind the connect-retry loop.
+	var hot *router.HotTracker
+	if *contRand {
+		if !pred.Partitionable() {
+			log.Fatalf("-contrand needs a partitionable predicate, got %s", *predSpec)
+		}
+		hot, err = router.NewHotTracker(router.HotConfig{
+			HotFraction: *hotFraction,
+			Window:      window.Sliding{Span: *winSpan},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, field := range strings.Split(*pinHot, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			v, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				log.Fatalf("-pin-hot %q: %v", field, err)
+			}
+			hot.Pin(tuple.Int(v).Hash(), true)
+		}
+	} else if *pinHot != "" {
+		log.Fatal("-pin-hot requires -contrand")
+	}
+
 	reg := metrics.NewRegistry()
 	// Supervised connection: wait for brokerd to come up, reconnect with
 	// backoff when it restarts, and detect half-open TCP via heartbeat,
@@ -91,6 +130,7 @@ func main() {
 		Window:  window.Sliding{Span: *winSpan},
 		Metrics: reg,
 		Trace:   tracer,
+		Hot:     hot,
 		// Standalone routers are the pipeline's ingest edge: sources
 		// publish raw tuples, so sampling stamps happen here.
 		StampIngest: true,

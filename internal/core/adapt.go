@@ -1,0 +1,191 @@
+package core
+
+// Adaptive routing: the engine side of the detect→decide→move loop.
+// The shared HotTracker detects skew and flips per-key placement on the
+// routers (detect + decide, internal/router); the Adapter reacts to
+// each promotion (internal/router/adapt.go); and migrateKey below is
+// the move — it relocates the promoted key's already-stored partition
+// from its hash owners to the scattered owners over internal/migrate's
+// key-scoped drain-barrier/segment-streaming path.
+//
+// The donor set is exactly what hash routing targeted before the flip:
+// the members of the key's subgroup (hash selects the subgroup,
+// round-robin spreads within it — so with subgroups < members the pile
+// spans several donors, and with pure hash routing it sits on one).
+// Each donor's pile moves to every *other* live member, matching the
+// scattered-store geometry the routers use for hot keys.
+
+import (
+	"errors"
+	"fmt"
+
+	"bistream/internal/index"
+	"bistream/internal/migrate"
+	"bistream/internal/router"
+	"bistream/internal/tuple"
+)
+
+// migrateKey relocates one relation's stored partition of a newly hot
+// key from its hash owners to the rest of the group. It is the
+// Adapter's MigrateKey callback; migLock serializes it against
+// whole-member migrations so donors never interleave.
+func (e *Engine) migrateKey(rel tuple.Relation, keyHash uint64) (int, error) {
+	e.migLock.Lock()
+	defer e.migLock.Unlock()
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return 0, errors.New("core: engine not running")
+	}
+	members := e.memberIDsLocked(rel)
+	subgroups := e.subgroupsLocked(rel)
+	routers := append([]*router.Service(nil), e.routers...)
+	e.mu.Unlock()
+	if len(members) < 2 {
+		// Scattering across a single member is hash placement; the flip
+		// alone is the whole adaptation.
+		return 0, nil
+	}
+
+	// The placement flipped when the tracker promoted the key, strictly
+	// before the Adapter invoked us; today's cursor is therefore at or
+	// above the flip point, so a donor frontier past it proves every
+	// store copy hash-routed under the cold regime has landed.
+	var barrier uint64
+	for _, r := range routers {
+		if c := r.StampCursor(); c > barrier {
+			barrier = c
+		}
+	}
+
+	// Hash owners of the key under the current layout: the members of
+	// subgroup keyHash%subgroups, i.e. every subgroups-th slot of the
+	// layout starting there (see router.Group's store target and the
+	// mirrored assignFunc in migration.go).
+	sub := 0
+	if subgroups > 1 {
+		sub = int(keyHash % uint64(subgroups))
+	}
+	var donors []int32
+	for i := sub; i < len(members); i += subgroups {
+		donors = append(donors, members[i])
+	}
+
+	moved := 0
+	for _, donorID := range donors {
+		donorID := donorID
+		recipients := make([]int32, 0, len(members)-1)
+		for _, m := range members {
+			if m != donorID {
+				recipients = append(recipients, m)
+			}
+		}
+		if len(recipients) == 0 {
+			continue
+		}
+		e.mu.Lock()
+		e.migAttempt++
+		attempt := e.migAttempt
+		e.mu.Unlock()
+		res, err := migrate.RunKey(migrate.KeyConfig{
+			Client:       e.client,
+			Metrics:      e.reg,
+			Rel:          rel,
+			Origin:       donorID,
+			KeyHash:      keyHash,
+			Attempt:      attempt,
+			DrainBarrier: barrier,
+			Timeout:      e.cfg.MigrationTimeout,
+			Donor: func() migrate.KeyPeer {
+				// Re-resolve by id every call: a cold-crashed donor's
+				// replacement carries the same id, so the migration rides
+				// through the crash against the recovered incarnation.
+				e.mu.Lock()
+				svc := e.joinerByIDLocked(rel, donorID)
+				e.mu.Unlock()
+				if svc == nil {
+					return nil
+				}
+				return svc
+			},
+			Cursor: func() uint64 {
+				e.mu.Lock()
+				rs := append([]*router.Service(nil), e.routers...)
+				e.mu.Unlock()
+				var c uint64
+				for _, r := range rs {
+					if v := r.StampCursor(); v > c {
+						c = v
+					}
+				}
+				return c
+			},
+			Recipients: recipients,
+			Import: func(member int32, segs []index.Segment) error {
+				return e.importForeign(rel, member, segs)
+			},
+			Drop: func(seqs []uint64) (int, error) {
+				e.mu.Lock()
+				svc := e.joinerByIDLocked(rel, donorID)
+				e.mu.Unlock()
+				if svc == nil {
+					return 0, fmt.Errorf("core: key donor %s-%d gone at drop", rel, donorID)
+				}
+				n := svc.DropKeySeqs(keyHash, seqs)
+				// Make the removal durable so a later cold crash does not
+				// resurrect the pile. Best-effort: a failure here leaves
+				// duplicate storage at worst, which the sink dedup absorbs.
+				_ = svc.CheckpointNow()
+				return n, nil
+			},
+		})
+		if err != nil {
+			return moved, fmt.Errorf("core: key migration %s-%d (key %x): %w", rel, donorID, keyHash, err)
+		}
+		moved += res.Tuples
+	}
+	return moved, nil
+}
+
+// PinHotKey forces a key's routing placement, overriding the tracker's
+// frequency estimate: hot pins scattered-store/broadcast-probe, cold
+// pins plain hash routing. Pinning hot also asks the adaptation
+// controller (when enabled) to migrate the key's stored pile, exactly
+// as an organic promotion would.
+func (e *Engine) PinHotKey(keyHash uint64, hot bool) error {
+	e.mu.Lock()
+	tracker, adapter := e.hot, e.adapter
+	e.mu.Unlock()
+	if tracker == nil {
+		return errors.New("core: ContRand routing not enabled")
+	}
+	tracker.Pin(keyHash, hot)
+	if hot && adapter != nil {
+		adapter.Request(keyHash)
+	}
+	return nil
+}
+
+// UnpinHotKey removes a manual pin, returning the key to tracker
+// control. A previously pinned-hot key drains like a demotion: probes
+// keep broadcasting for a window (+ slack) so tuples scattered under
+// the pin stay reachable until they expire.
+func (e *Engine) UnpinHotKey(keyHash uint64) error {
+	e.mu.Lock()
+	tracker := e.hot
+	e.mu.Unlock()
+	if tracker == nil {
+		return errors.New("core: ContRand routing not enabled")
+	}
+	tracker.Unpin(keyHash, e.cfg.Clock.Now().UnixMilli())
+	return nil
+}
+
+// HotKeys reports the key hashes the tracker currently routes as hot
+// (nil when ContRand is disabled). Diagnostics and tests.
+func (e *Engine) HotKeys() []uint64 {
+	if e.hot == nil {
+		return nil
+	}
+	return e.hot.HotKeys()
+}

@@ -89,6 +89,13 @@ type Config struct {
 	ContRand bool
 	// HotFraction is the promotion threshold (default 0.01).
 	HotFraction float64
+	// AdaptiveRouting closes the ContRand loop: an adaptation
+	// controller watches the tracker's promotions and live-migrates
+	// each newly hot key's stored partition from its hash owners to the
+	// scattered owners (metrics under router_adapt_*). Implies
+	// ContRand; incompatible with Unordered, because the key migration
+	// leans on the ordering protocol's drain barriers.
+	AdaptiveRouting bool
 	// Metrics is the registry every tier registers its instruments in
 	// (router.<id>.*, joiner.<rel>.<id>.*, engine.*, broker.* when the
 	// engine owns its broker, stage.* trace histograms). Nil creates a
@@ -216,6 +223,7 @@ type Engine struct {
 	client  broker.Client
 	results chan tuple.JoinResult
 	hot     *router.HotTracker // shared ContRand tracker, nil if disabled
+	adapter *router.Adapter    // hot-key migration controller, nil if disabled
 	reg     *metrics.Registry
 	tracer  *metrics.Tracer // nil when tracing is disabled
 
@@ -289,6 +297,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.SSubgroups < 1 || cfg.SSubgroups > cfg.SJoiners {
 		return nil, fmt.Errorf("core: SSubgroups %d out of range [1,%d]", cfg.SSubgroups, cfg.SJoiners)
+	}
+	if cfg.AdaptiveRouting {
+		if cfg.Unordered {
+			return nil, errors.New("core: AdaptiveRouting needs the ordering protocol's drain barrier (Unordered is set)")
+		}
+		cfg.ContRand = true
 	}
 	e := &Engine{
 		cfg: cfg,
@@ -439,6 +453,18 @@ func (e *Engine) Start() error {
 		if err := e.addRouterLocked(); err != nil {
 			return err
 		}
+	}
+	if e.cfg.AdaptiveRouting {
+		ad, err := router.NewAdapter(router.AdaptConfig{
+			Tracker:    e.hot,
+			MigrateKey: e.migrateKey,
+			Metrics:    e.reg,
+		})
+		if err != nil {
+			return err
+		}
+		e.adapter = ad
+		ad.Start()
 	}
 	if e.cfg.MetricsAddr != "" {
 		srv, err := obs.Serve(e.cfg.MetricsAddr, e.reg)
@@ -1212,8 +1238,14 @@ func (e *Engine) Stop() error {
 	sink := e.sinkCons
 	sinkDone := e.sinkDone
 	obsSrv := e.obsSrv
+	adapter := e.adapter
 	e.mu.Unlock()
 
+	if adapter != nil {
+		// Before the routers: an in-flight key migration waits on stamp
+		// cursors, which stop advancing once the routers are gone.
+		adapter.Stop()
+	}
 	if obsSrv != nil {
 		obsSrv.Close()
 	}

@@ -70,6 +70,18 @@ func (s *Set) SeenOrAdd(k Key) bool {
 // present.
 func (s *Set) Suppressed() int64 { return s.suppressed }
 
+// Rotate forces a generation rotation regardless of how full the
+// current one is: the current generation becomes the previous one and a
+// fresh map starts, discarding what the old previous generation held.
+// Callers with a time-like watermark (the joiner's reorder frontier)
+// use this to age entries out by elapsed stamp-time instead of by
+// insertion count, so the set stays bounded even when ingest is slow
+// and the count-cap rotation never fires.
+func (s *Set) Rotate() {
+	s.prev = s.cur
+	s.cur = make(map[Key]struct{}, len(s.prev)/4)
+}
+
 // State is a serializable snapshot of the set: the generation watermark
 // a checkpoint manifest carries so a cold-restarted consumer still
 // suppresses redeliveries of work it handled before the checkpoint.

@@ -33,6 +33,22 @@ func TestRotationBoundsMemory(t *testing.T) {
 	}
 }
 
+func TestExplicitRotateAgesEntries(t *testing.T) {
+	s := New(1 << 20)
+	s.Add(Key{1, 0})
+	s.Rotate()
+	if !s.Seen(Key{1, 0}) {
+		t.Error("entry lost after a single rotation")
+	}
+	s.Rotate()
+	if s.Seen(Key{1, 0}) {
+		t.Error("entry survived two rotations")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d after draining both generations, want 0", s.Len())
+	}
+}
+
 func TestRetentionAcrossOneRotation(t *testing.T) {
 	s := New(4)
 	s.Add(Key{1, 1})

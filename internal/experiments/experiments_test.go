@@ -476,3 +476,54 @@ func TestRunBrokerFail(t *testing.T) {
 		t.Fatal("report missing failover pause line")
 	}
 }
+
+func TestRunSkewDriftAdaptiveBalances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live-engine sweep")
+	}
+	cfg := DefaultSkewDriftConfig()
+	cfg.Pairs = 4000
+	cfg.Eras = 2
+	rows, err := RunSkewDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byName := map[string]SkewDriftRow{}
+	for _, r := range rows {
+		byName[r.Strategy+"/"+r.Distribution] = r
+		if r.TuplesPer <= 0 || r.Results <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if len(r.EraImbalance) != cfg.Eras || len(r.EraTuplesPer) != cfg.Eras {
+			t.Fatalf("era curves truncated: %+v", r)
+		}
+	}
+	hash, adaptive := byName["hash/drift"], byName["adaptive/drift"]
+	// The directional claim, not the full-size acceptance numbers: the
+	// adaptive loop must hold stores materially flatter than static hash
+	// under the same rotating skew, and must actually have migrated.
+	if adaptive.MaxImbalance >= hash.MaxImbalance {
+		t.Errorf("adaptive imbalance %.2f not below hash %.2f",
+			adaptive.MaxImbalance, hash.MaxImbalance)
+	}
+	if adaptive.KeyMoves == 0 || adaptive.MovedTuples == 0 {
+		t.Errorf("no key migration ran: moves=%d moved=%d",
+			adaptive.KeyMoves, adaptive.MovedTuples)
+	}
+	if hash.KeyMoves != 0 {
+		t.Errorf("static hash reported %d key moves", hash.KeyMoves)
+	}
+	t.Log("\n" + FormatSkewDriftRows(rows))
+}
+
+func TestRunSkewDriftValidation(t *testing.T) {
+	cfg := DefaultSkewDriftConfig()
+	cfg.Eras = 3 // does not divide Pairs
+	cfg.Pairs = 100
+	if _, err := RunSkewDrift(cfg); err == nil {
+		t.Fatal("indivisible Pairs/Eras accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bistream/internal/core"
+	"bistream/internal/predicate"
+	"bistream/internal/tuple"
+	"bistream/internal/workload"
+)
+
+// SkewDriftConfig parameterizes E14, the drifting-skew extension of E6:
+// a rotating zipf workload (the hot head of the key distribution moves
+// to fresh keys every era) pushed through the full asynchronous engine
+// under three routing strategies — static hash, ContRand placement
+// flips alone, and the full adaptive loop with hot-key migration — plus
+// a flat (no-skew) hash baseline. Unlike E6's synchronous harness, E14
+// measures the live engine: wall-clock throughput per era and the
+// max/mean imbalance of tuples actually *held* per member (stores plus
+// grafted-in minus migrated-out), which is what the key migration
+// changes and the stored-counter alone cannot see.
+type SkewDriftConfig struct {
+	// Joiners per relation group.
+	Joiners int
+	// Routers is the router-tier size.
+	Routers int
+	// Pairs is the number of (R,S) tuple pairs per run; event time
+	// advances 1ms per pair.
+	Pairs int
+	// Eras splits the run; each era rotates the zipf head onto new keys.
+	Eras int
+	// Keys is the attribute domain of the skewed draws.
+	Keys int64
+	// ZipfS is the skew exponent (>1).
+	ZipfS float64
+	// RotateStep offsets the key mapping per era; any value coprime-ish
+	// with Keys works.
+	RotateStep int64
+	// WindowSpan is the sliding join window (event time).
+	WindowSpan time.Duration
+	// HotFraction is the promotion threshold for the contrand/adaptive
+	// strategies.
+	HotFraction float64
+	// FlatKeys is the flat baseline's key-set size; the values are
+	// chosen so hash routing spreads them perfectly evenly (the no-skew
+	// ideal) and the collision mass — and so the result volume — is
+	// comparable to the zipf runs.
+	FlatKeys int
+	// Seed drives the key draws.
+	Seed int64
+}
+
+// DefaultSkewDriftConfig uses 4 joiners per side and 4 eras.
+func DefaultSkewDriftConfig() SkewDriftConfig {
+	return SkewDriftConfig{
+		Joiners:     4,
+		Routers:     2,
+		Pairs:       16000,
+		Eras:        4,
+		Keys:        400,
+		ZipfS:       1.6,
+		RotateStep:  131,
+		WindowSpan:  200 * time.Millisecond,
+		HotFraction: 0.02,
+		FlatKeys:    4,
+		Seed:        14,
+	}
+}
+
+// SkewDriftRow is one (strategy, distribution) measurement.
+type SkewDriftRow struct {
+	Strategy     string
+	Distribution string
+	// TuplesPer is overall ingest throughput (tuples/s over ingest and
+	// drain, excluding the inter-era sampling pauses).
+	TuplesPer float64
+	// MaxImbalance is the worst per-era max/mean of held tuples across
+	// the R members.
+	MaxImbalance float64
+	Results      int64
+	KeyMoves     int64 // completed per-relation key migrations
+	MovedTuples  int64 // tuples relocated by those migrations
+	// Per-era curves (throughput and held-store imbalance).
+	EraTuplesPer []float64
+	EraImbalance []float64
+}
+
+// RunSkewDrift executes E14.
+func RunSkewDrift(cfg SkewDriftConfig) ([]SkewDriftRow, error) {
+	if cfg.Joiners < 2 || cfg.Pairs <= 0 || cfg.Eras <= 0 || cfg.Pairs%cfg.Eras != 0 {
+		return nil, fmt.Errorf("experiments: bad skew-drift config")
+	}
+	type strat struct {
+		name     string
+		contRand bool
+		adaptive bool
+	}
+	strategies := []strat{
+		{"hash", false, false},
+		{"contrand", true, false},
+		{"adaptive", true, true},
+	}
+	var rows []SkewDriftRow
+	// Flat baseline: evenly-hashed uniform keys under static hash
+	// routing — what every strategy should approach without skew.
+	flat, err := runSkewDriftOnce(cfg, "hash", "flat", false, false)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, flat)
+	for _, s := range strategies {
+		row, err := runSkewDriftOnce(cfg, s.name, "drift", s.contRand, s.adaptive)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runSkewDriftOnce(cfg SkewDriftConfig, strategy, dist string, contRand, adaptive bool) (SkewDriftRow, error) {
+	var results atomic.Int64
+	eng, err := core.New(core.Config{
+		Predicate:           predicate.NewEqui(0, 0),
+		Window:              cfg.WindowSpan,
+		Routers:             cfg.Routers,
+		RJoiners:            cfg.Joiners,
+		SJoiners:            cfg.Joiners,
+		ContRand:            contRand && !adaptive,
+		AdaptiveRouting:     adaptive,
+		HotFraction:         cfg.HotFraction,
+		PunctuationInterval: 2 * time.Millisecond,
+		OnResult:            func(tuple.JoinResult) { results.Add(1) },
+	})
+	if err != nil {
+		return SkewDriftRow{}, err
+	}
+	if err := eng.Start(); err != nil {
+		return SkewDriftRow{}, err
+	}
+	defer eng.Stop()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var draw func(era int) int64
+	if dist == "flat" {
+		keys := evenlyHashedKeys(cfg.FlatKeys, cfg.Joiners)
+		draw = func(int) int64 { return keys[rng.Intn(len(keys))] }
+	} else {
+		zipf, err := workload.NewZipf(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Keys, cfg.ZipfS)
+		if err != nil {
+			return SkewDriftRow{}, err
+		}
+		// Rotating the zipf draw through the domain each era moves the
+		// hot head onto fresh keys: yesterday's hotspot cools, a new one
+		// appears — the drifting-skew regime static hash cannot follow.
+		draw = func(era int) int64 {
+			return (zipf.Next(rng) + int64(era)*cfg.RotateStep) % cfg.Keys
+		}
+	}
+
+	reg := eng.Metrics()
+	held := func() []float64 {
+		out := make([]float64, cfg.Joiners)
+		for id := 0; id < cfg.Joiners; id++ {
+			var h float64
+			for _, c := range []string{"stored", "migrated_in_tuples"} {
+				v, _ := reg.Value(fmt.Sprintf("joiner.R.%d.%s", id, c))
+				h += v
+			}
+			v, _ := reg.Value(fmt.Sprintf("joiner.R.%d.migrated_out_tuples", id))
+			out[id] = h - v
+		}
+		return out
+	}
+
+	row := SkewDriftRow{Strategy: strategy, Distribution: dist}
+	perEra := cfg.Pairs / cfg.Eras
+	seq := uint64(1)
+	prev := held()
+	var wall time.Duration
+	for era := 0; era < cfg.Eras; era++ {
+		start := time.Now()
+		for i := 0; i < perEra; i++ {
+			ts := int64(era*perEra + i) // 1ms per pair
+			r := tuple.New(tuple.R, seq, ts, tuple.Int(draw(era)))
+			seq++
+			s := tuple.New(tuple.S, seq, ts, tuple.Int(draw(era)))
+			seq++
+			if err := eng.Ingest(r); err != nil {
+				return SkewDriftRow{}, err
+			}
+			if err := eng.Ingest(s); err != nil {
+				return SkewDriftRow{}, err
+			}
+		}
+		if err := eng.Quiesce(2 * time.Minute); err != nil {
+			return SkewDriftRow{}, err
+		}
+		eraWall := time.Since(start)
+		wall += eraWall
+		// Sampling pause, outside the timed region: let any in-flight
+		// key migration land so the imbalance reflects the adapted
+		// placement, not a move half done.
+		if adaptive {
+			waitUntil := time.Now().Add(15 * time.Second)
+			for time.Now().Before(waitUntil) {
+				pending, _ := reg.Value("router_adapt.pending_keys")
+				inflight, _ := reg.Value("router_adapt.inflight")
+				if pending == 0 && inflight == 0 {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		cur := held()
+		delta := make([]float64, len(cur))
+		for i := range cur {
+			delta[i] = cur[i] - prev[i]
+		}
+		prev = cur
+		imb := imbalanceF(delta)
+		row.EraImbalance = append(row.EraImbalance, imb)
+		row.EraTuplesPer = append(row.EraTuplesPer, float64(2*perEra)/eraWall.Seconds())
+		if imb > row.MaxImbalance {
+			row.MaxImbalance = imb
+		}
+	}
+	row.TuplesPer = float64(2*cfg.Pairs) / wall.Seconds()
+	row.Results = results.Load()
+	km, _ := reg.Value("router_adapt.key_migrations")
+	mt, _ := reg.Value("router_adapt.moved_tuples")
+	row.KeyMoves, row.MovedTuples = int64(km), int64(mt)
+	return row, nil
+}
+
+// evenlyHashedKeys scans the integers for n key values that hash-route
+// evenly across j members: the flat baseline should be flat by
+// construction, not by luck of the draw.
+func evenlyHashedKeys(n, j int) []int64 {
+	per := (n + j - 1) / j
+	buckets := make([]int, j)
+	var keys []int64
+	for v := int64(0); len(keys) < n; v++ {
+		b := int(tuple.Int(v).Hash() % uint64(j))
+		if buckets[b] < per {
+			buckets[b]++
+			keys = append(keys, v)
+		}
+	}
+	return keys
+}
+
+// imbalanceF returns max/mean over the loads; 0 if empty or zero-mean.
+func imbalanceF(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}
+
+// FormatSkewDriftRows renders the E14 table with per-era curves.
+func FormatSkewDriftRows(rows []SkewDriftRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %-6s %12s %12s %9s %9s %8s\n",
+		"strategy", "keys", "tuples/s", "imbalance", "results", "keymoves", "moved")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %-6s %12.0f %12.2f %9d %9d %8d\n",
+			r.Strategy, r.Distribution, r.TuplesPer, r.MaxImbalance,
+			r.Results, r.KeyMoves, r.MovedTuples)
+	}
+	sb.WriteString("\nper-era curves (throughput ktuples/s | held-store imbalance):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %-6s ", r.Strategy, r.Distribution)
+		for i := range r.EraTuplesPer {
+			fmt.Fprintf(&sb, " e%d %6.1f|%4.2f", i+1, r.EraTuplesPer[i]/1000, r.EraImbalance[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,147 @@
+package index
+
+import "bistream/internal/tuple"
+
+// Key-scoped export and removal: the primitives behind hot-key
+// migration. When the adaptive router promotes a key to scattered
+// placement, the key's already-stored partition sits piled on its old
+// hash owner; the engine exports that pile (ExportKey), streams it to
+// the scattered owners, and then removes exactly the exported tuples
+// from the donor (RemoveKeySeqs). Removal never mutates a sealed
+// sub-index in place — sealed segments are write-once for incremental
+// checkpointing — so any sub-index that loses tuples is rebuilt as a
+// brand-new segment under a fresh identity, and the checkpoint layer
+// garbage-collects the old one exactly as it does for whole-segment
+// expiry.
+
+// ExportMatching returns the stored tuples for which match returns
+// true, scanning the active sub-index and every archived one. Tuple
+// pointers are shared, not copied — tuples are immutable.
+func (c *Chained) ExportMatching(match func(*tuple.Tuple) bool) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	collect := func(t *tuple.Tuple) bool {
+		if match(t) {
+			out = append(out, t)
+		}
+		return true
+	}
+	for _, cs := range c.archived {
+		cs.sub.Export(collect)
+	}
+	c.active.sub.Export(collect)
+	return out
+}
+
+// RemoveSeqs removes every stored tuple whose sequence number is in
+// seqs and returns how many were removed. Sub-indexes that lose no
+// tuples are untouched. The active sub-index is rebuilt in place under
+// its own id (the live segment is rewritten every checkpoint round
+// anyway). An archived sub-index is sealed — its (origin, id) content
+// is write-once for the checkpoint layer — so it is rebuilt as a new
+// segment with a fresh id under rebuildOrigin, the owning member's id.
+// Using the member's own id as origin keeps the identity disjoint both
+// from plain local segments (origin -1) and from anything a graft could
+// deliver: a member is never a recipient of its own migration, so no
+// foreign segment with its id as origin can ever arrive. Sub-indexes
+// left empty are dropped from the chain entirely, like expiry.
+func (c *Chained) RemoveSeqs(rebuildOrigin int32, seqs map[uint64]struct{}) int {
+	removed := 0
+	keep := c.archived[:0]
+	for _, cs := range c.archived {
+		n, fresh := c.rebuildWithout(cs, seqs, true, rebuildOrigin)
+		removed += n
+		if fresh != nil {
+			keep = append(keep, fresh)
+		}
+	}
+	for i := len(keep); i < len(c.archived); i++ {
+		c.archived[i] = nil
+	}
+	c.archived = keep
+	n, fresh := c.rebuildWithout(c.active, seqs, false, rebuildOrigin)
+	removed += n
+	if fresh != nil {
+		c.active = fresh
+	} else {
+		// Every active tuple was removed: restart the live segment empty
+		// under the same id.
+		c.memBytes -= c.active.sub.MemBytes()
+		c.active = newChainedSub(c.factory, c.active.id)
+		c.memBytes += c.active.sub.MemBytes()
+	}
+	c.totalLen -= removed
+	return removed
+}
+
+// rebuildWithout returns (0, cs) when cs holds no tuple from seqs. When
+// it does, the survivors are re-inserted into a replacement sub-index —
+// a fresh identity for sealed sub-indexes, the same id for the active
+// one — and (removedCount, replacement) is returned; a replacement left
+// empty is returned as nil. Memory accounting is adjusted here; the
+// caller fixes totalLen.
+func (c *Chained) rebuildWithout(cs *chainedSub, seqs map[uint64]struct{}, sealed bool, rebuildOrigin int32) (int, *chainedSub) {
+	hit := 0
+	cs.sub.Export(func(t *tuple.Tuple) bool {
+		if _, ok := seqs[t.Seq]; ok {
+			hit++
+		}
+		return true
+	})
+	if hit == 0 {
+		return 0, cs
+	}
+	var fresh *chainedSub
+	if sealed {
+		fresh = newChainedSub(c.factory, c.alloc.take())
+		fresh.origin = rebuildOrigin
+	} else {
+		fresh = newChainedSub(c.factory, cs.id)
+	}
+	cs.sub.Export(func(t *tuple.Tuple) bool {
+		if _, ok := seqs[t.Seq]; !ok {
+			fresh.insert(t)
+		}
+		return true
+	})
+	c.memBytes -= cs.sub.MemBytes()
+	if fresh.empty {
+		return hit, nil
+	}
+	c.memBytes += fresh.sub.MemBytes()
+	return hit, fresh
+}
+
+// ExportKey returns the stored tuples whose indexed attribute hashes to
+// keyHash. Only the key's own shard is scanned — for a partitionable
+// predicate every tuple of one key lives in one shard. It returns nil
+// when the index partitions by sequence number (attr < 0): without a
+// store-side join attribute there is no per-key placement to rebalance,
+// and callers gate hot-key migration on Predicate.Partitionable().
+func (x *Sharded) ExportKey(keyHash uint64) []*tuple.Tuple {
+	if x.attr < 0 {
+		return nil
+	}
+	shard := x.shards[keyHash%uint64(len(x.shards))]
+	return shard.ExportMatching(func(t *tuple.Tuple) bool {
+		return t.Value(x.attr).Hash() == keyHash
+	})
+}
+
+// RemoveKeySeqs removes the tuples of keyHash's shard whose sequence
+// numbers are in seqs, returning how many were removed. seqs is the
+// sequence set captured by a prior ExportKey, so tuples of the same key
+// stored after the export survive — exactly the post-flip scattered
+// arrivals a hot-key migration must not disturb. rebuildOrigin is the
+// owning member's id, used as the origin of rebuilt sealed segments
+// (see Chained.RemoveSeqs). A no-op returning 0 when the index
+// partitions by sequence number.
+func (x *Sharded) RemoveKeySeqs(rebuildOrigin int32, keyHash uint64, seqs []uint64) int {
+	if x.attr < 0 || len(seqs) == 0 {
+		return 0
+	}
+	set := make(map[uint64]struct{}, len(seqs))
+	for _, s := range seqs {
+		set[s] = struct{}{}
+	}
+	return x.shards[keyHash%uint64(len(x.shards))].RemoveSeqs(rebuildOrigin, set)
+}

@@ -102,6 +102,15 @@ type Core struct {
 	releaseBuf []protocol.Envelope
 	runs       []*shardRun
 
+	// Dedup watermark pruning: seen entries are only needed while the
+	// tuples they guard can still be redelivered, so once the reorderer's
+	// min frontier has advanced a full horizon (stamp micros) past the
+	// last rotation, the older dedup generation is discarded. This bounds
+	// the filter by stamp-time instead of relying solely on the count-cap
+	// rotation, which under slow unique-key ingest never fires.
+	pruneHorizon uint64 // stamp micros a dedup entry must survive
+	lastRotate   uint64 // min frontier at the previous rotation
+
 	received     *metrics.Counter
 	deduped      *metrics.Counter
 	stored       *metrics.Counter
@@ -112,6 +121,8 @@ type Core struct {
 	work         *metrics.Counter
 	migratedIn   *metrics.Counter
 	migratedSegs *metrics.Counter
+	migratedOut  *metrics.Counter
+	dedupRotates *metrics.Counter
 	latency      *metrics.Histogram
 }
 
@@ -175,7 +186,18 @@ func NewCore(cfg Config) (*Core, error) {
 		work:         cfg.Metrics.Counter(prefix + "work_units"),
 		migratedIn:   cfg.Metrics.Counter(prefix + "migrated_in_tuples"),
 		migratedSegs: cfg.Metrics.Counter(prefix + "migrated_in_segments"),
+		migratedOut:  cfg.Metrics.Counter(prefix + "migrated_out_tuples"),
+		dedupRotates: cfg.Metrics.Counter(prefix + "dedup_rotations"),
 		latency:      cfg.Metrics.Histogram(prefix + "order_wait_ns"),
+	}
+	// A dedup entry must outlive any chance of redelivery: broker
+	// requeues and router duplicate publishes land within seconds, so
+	// one window span plus a generous slack is ample. Full-history joins
+	// have no span; a fixed minute keeps them bounded too.
+	if cfg.FullHistory {
+		c.pruneHorizon = 60_000_000
+	} else {
+		c.pruneHorizon = uint64(cfg.Window.Span.Microseconds()) + 2_000_000
 	}
 	c.runs = make([]*shardRun, idx.NumShards())
 	for i := range c.runs {
@@ -238,6 +260,7 @@ func (c *Core) Handle(env protocol.Envelope, src protocol.Source, emit func(tupl
 		c.process(e, emit)
 	}
 	clearEnvelopes(c.releaseBuf)
+	c.maybeRotateSeen()
 }
 
 // HandleBatch feeds a batch of envelopes from one source path into the
@@ -486,6 +509,33 @@ func (c *Core) processReleased(released []protocol.Envelope, emit func(tuple.Joi
 	if work := storedN + probedN + comparisonsN; work > 0 {
 		c.work.Add(work)
 	}
+	c.maybeRotateSeen()
+}
+
+// maybeRotateSeen drops the older dedup generation once the reorderer's
+// min frontier — the stamp below which every delivered envelope has
+// been released and processed — has advanced a full prune horizon past
+// the previous rotation. Entries therefore survive between one and two
+// horizons of stamp-time, far longer than any redelivery can lag, while
+// the filter stays bounded under sustained ingest. The count-cap
+// rotation inside dedup.Set remains as the memory backstop.
+func (c *Core) maybeRotateSeen() {
+	f := c.reorder.MinFrontier()
+	if f == 0 {
+		return // no punctuation yet (or unordered mode): nothing to anchor on
+	}
+	if c.lastRotate == 0 || f < c.lastRotate {
+		// First anchor, or the min frontier regressed because a new
+		// router path joined and has not punctuated yet: re-anchor.
+		c.lastRotate = f
+		return
+	}
+	if f-c.lastRotate < c.pruneHorizon {
+		return
+	}
+	c.seen.Rotate()
+	c.lastRotate = f
+	c.dedupRotates.Inc()
 }
 
 // Flush releases and processes every buffered envelope regardless of
@@ -636,3 +686,28 @@ func (c *Core) Graft(segs []index.Segment) error {
 // delivered envelope stamped at or below it has been released from the
 // reorder buffer and processed. Migration polls it to detect drain.
 func (c *Core) MinFrontier() uint64 { return c.reorder.MinFrontier() }
+
+// ExportKey returns the stored tuples whose join key hashes to keyHash
+// (hot-key migration export). The tuples stay in the window — the donor
+// keeps serving broadcast probes against them until the migration's
+// cut-over removes exactly this set via DropKeySeqs. Pointers are
+// shared; stored tuples are immutable.
+func (c *Core) ExportKey(keyHash uint64) []*tuple.Tuple {
+	return c.idx.ExportKey(keyHash)
+}
+
+// DropKeySeqs removes the tuples of keyHash whose sequence numbers are
+// in seqs — the set a prior ExportKey captured — and returns how many
+// were removed. Tuples of the same key stored after the export (the
+// scattered arrivals of the key's hot placement) are untouched.
+func (c *Core) DropKeySeqs(keyHash uint64, seqs []uint64) int {
+	n := c.idx.RemoveKeySeqs(c.cfg.ID, keyHash, seqs)
+	if n > 0 {
+		c.migratedOut.Add(int64(n))
+	}
+	return n
+}
+
+// SeenLen reports the dedup filter's current entry count (tests and
+// memory accounting for the watermark-pruning bound).
+func (c *Core) SeenLen() int { return c.seen.Len() }

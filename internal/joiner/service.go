@@ -409,6 +409,31 @@ func (s *Service) ImportForeign(segs []index.Segment) error {
 	return s.core.Graft(segs)
 }
 
+// ExportKeyIfDrained atomically checks the drain barrier and exports
+// the stored tuples of one join key (hot-key migration): if every
+// router path's frontier has passed minStamp — so every store copy
+// hash-routed here before the key's placement flipped has been released
+// and stored — it returns the key's tuples, which stay in the window
+// until DropKeySeqs removes them at cut-over. Otherwise it returns
+// ErrNotDrained and the caller polls again.
+func (s *Service) ExportKeyIfDrained(keyHash uint64, minStamp uint64) ([]*tuple.Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.core.MinFrontier() < minStamp {
+		return nil, ErrNotDrained
+	}
+	return s.core.ExportKey(keyHash), nil
+}
+
+// DropKeySeqs removes the previously exported tuples of one join key
+// from the window (hot-key migration cut-over), serialized against the
+// consume loops. It returns how many tuples were removed.
+func (s *Service) DropKeySeqs(keyHash uint64, seqs []uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.core.DropKeySeqs(keyHash, seqs)
+}
+
 // maxConsumeBatch caps how many deliveries one consume-loop wakeup
 // gathers before handing them to the core as a single batch. Large
 // enough to amortize the mutex, ack and checkpoint bookkeeping and to

@@ -1,0 +1,253 @@
+package migrate
+
+import (
+	"fmt"
+	"time"
+
+	"bistream/internal/broker"
+	"bistream/internal/checkpoint"
+	"bistream/internal/index"
+	"bistream/internal/metrics"
+	"bistream/internal/tuple"
+)
+
+// Key-scoped migration: when the adaptive router promotes a key to
+// scattered placement, the key's already-stored partition is still
+// piled on its old hash owner. RunKey moves exactly that pile to the
+// scattered owners over the same drain-barrier/segment-streaming path a
+// whole-member migration uses, with one structural difference — the
+// donor stays a live member throughout, so instead of MarkDead the
+// protocol ends by removing the exported tuples from the donor:
+//
+//  1. Drain: the key's placement has already flipped (every new store
+//     copy scatters, every probe broadcasts). The engine captured the
+//     routers' stamp cursor right after the flip; once the donor's
+//     frontier passes it, every store copy hash-routed to the donor
+//     before the flip has landed, so the donor's pile is complete.
+//  2. Export: the donor returns a copy of its tuples for the key — and
+//     keeps them, because broadcast probes in flight may still only be
+//     answerable by the donor's copy. The exported sequence numbers are
+//     remembered for the final removal.
+//  3. Transfer + graft: the copies are partitioned round-robin across
+//     the recipients (every live member except the donor — a member
+//     must never graft its own export, or the removal would delete the
+//     grafted copy too), streamed over the attempt-qualified migration
+//     queue with CRC validation and retransmits, and imported as sealed
+//     foreign segments. Until the donor-side removal, a broadcast probe
+//     can match both the donor's original and a recipient's graft; the
+//     sink's result dedup absorbs those pairs, exactly as it absorbs
+//     the overlap of a whole-member migration.
+//  4. Cut over: once the donor's frontier passes a cursor captured
+//     after every graft committed, any probe that could have been
+//     answered only by the donor's copies has been processed, and every
+//     later probe sees the grafts — so the donor drops exactly the
+//     exported sequence set. Tuples of the same key scattered to the
+//     donor after the flip are not in the set and survive.
+//
+// A failure anywhere before the drop leaves copies in two places,
+// which is duplicate storage, never a lost tuple: results stay exact
+// through the sink dedup, and the controller simply retries later.
+
+// KeyPeer is the coordinator's view of the donor during a hot-key
+// migration. The engine's Donor function re-resolves it on every call,
+// so a donor cold-replaced mid-migration is observed through its new
+// incarnation.
+type KeyPeer interface {
+	// ExportKeyIfDrained atomically checks that the member's release
+	// frontier passed minStamp and exports its stored tuples for the
+	// key; it returns an error while not yet drained.
+	ExportKeyIfDrained(keyHash uint64, minStamp uint64) ([]*tuple.Tuple, error)
+	// Frontier reports the member's release frontier.
+	Frontier() uint64
+}
+
+// KeyConfig parameterizes one hot-key migration run.
+type KeyConfig struct {
+	// Client is the broker the transfer frames travel over. Required.
+	Client broker.Client
+	// Metrics receives the counters under "migrate.key.<rel>.<origin>.";
+	// nil uses a private registry.
+	Metrics *metrics.Registry
+	// Rel is the relation whose stored partition moves.
+	Rel tuple.Relation
+	// Origin is the donor's member id — the key's hash owner.
+	Origin int32
+	// KeyHash is the join-attribute hash of the promoted key.
+	KeyHash uint64
+	// Attempt is an engine-unique transfer number. It qualifies the
+	// transfer queue AND the graft segment ids (attempt<<16 | n), so a
+	// key migration can never collide with a whole-member migration from
+	// the same donor (whose segments are renumbered from 1) or with an
+	// earlier key migration's grafts.
+	Attempt uint64
+	// Donor resolves the donor's current incarnation; nil means the
+	// donor is gone and the migration fails.
+	Donor func() KeyPeer
+	// DrainBarrier is the routers' stamp cursor captured after the key's
+	// placement flipped to scattered.
+	DrainBarrier uint64
+	// Cursor reads the routers' current maximum stamp cursor; used after
+	// the grafts commit to build the cut-over barrier.
+	Cursor func() uint64
+	// Recipients are the members the pile spreads across — every live
+	// member of the group except the donor.
+	Recipients []int32
+	// Import grafts sealed foreign segments onto one recipient and makes
+	// them durable; it must be idempotent.
+	Import func(member int32, segs []index.Segment) error
+	// Drop removes the exported sequence set from the donor after the
+	// cut-over barrier passes, returning how many tuples were removed.
+	Drop func(seqs []uint64) (int, error)
+	// Timeout bounds the whole run; DefaultTimeout when zero.
+	Timeout time.Duration
+	// Poll paces barrier polling and retransmit checks; DefaultPoll when
+	// zero.
+	Poll time.Duration
+}
+
+// KeyResult summarizes a completed hot-key migration.
+type KeyResult struct {
+	// Tuples counts the donor-side pile moved to recipients.
+	Tuples int
+	// PerMember counts the tuples grafted onto each recipient.
+	PerMember map[int32]int
+	// Dropped counts the tuples removed from the donor at cut-over.
+	Dropped int
+	// Retransmits counts transfer frames republished after loss.
+	Retransmits int64
+	// CutoverBarrier is the stamp cursor the donor passed before the
+	// drop.
+	CutoverBarrier uint64
+}
+
+// maxKeyAttempt bounds Attempt so the synthesized segment ids
+// (attempt<<16 | n) stay shardable: Sharded.Graft needs ids below
+// 1<<56.
+const maxKeyAttempt = 1 << 40
+
+// RunKey executes one hot-key migration to completion or error. On
+// error nothing irreversible has happened (the drop is the last step),
+// so the caller can simply retry with a fresh attempt number.
+func RunKey(cfg KeyConfig) (KeyResult, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.Attempt >= maxKeyAttempt {
+		return KeyResult{}, fmt.Errorf("migrate: key attempt %d out of range", cfg.Attempt)
+	}
+	if len(cfg.Recipients) == 0 {
+		return KeyResult{}, fmt.Errorf("migrate: key migration needs at least one recipient")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	prefix := fmt.Sprintf("migrate.key.%s.%d.", cfg.Rel, cfg.Origin)
+	retransmits := reg.Counter(prefix + "retransmits")
+	corrupt := reg.Counter(prefix + "frames_corrupt")
+	dups := reg.Counter(prefix + "frames_dup")
+	deadline := time.Now().Add(cfg.Timeout)
+
+	// Phase 1+2: wait for the donor to drain past the flip barrier, then
+	// export (a copy of) its pile for the key.
+	tuples, err := waitKeyDrained(cfg, deadline)
+	if err != nil {
+		return KeyResult{}, err
+	}
+	res := KeyResult{PerMember: make(map[int32]int)}
+	if len(tuples) == 0 {
+		// Nothing stored under the old placement: the flip alone was the
+		// whole adaptation.
+		reg.Counter(prefix + "completed").Inc()
+		return res, nil
+	}
+	seqs := make([]uint64, len(tuples))
+	for i, t := range tuples {
+		seqs[i] = t.Seq
+	}
+
+	// Phase 3: round-robin the pile across the recipients, one sealed
+	// segment each, stream, and graft.
+	parts := make([][]*tuple.Tuple, len(cfg.Recipients))
+	for i, t := range tuples {
+		parts[i%len(parts)] = append(parts[i%len(parts)], t)
+	}
+	tr := &transfer{blobs: make(map[uint64][]byte), crcs: make(map[uint64]uint32)}
+	segMember := make(map[uint64]int32)
+	for i, ts := range parts {
+		if len(ts) == 0 {
+			continue
+		}
+		id := cfg.Attempt<<16 | uint64(len(tr.segs)+1)
+		seg := index.Segment{ID: id, Origin: cfg.Origin, Sealed: true, Tuples: ts}
+		seg.MinTS, seg.MaxTS = bounds(ts)
+		tr.segs = append(tr.segs, seg)
+		blob := checkpoint.EncodeSegment(seg)
+		tr.blobs[id] = blob
+		tr.crcs[id] = checkpoint.BlobCRC(blob)
+		segMember[id] = cfg.Recipients[i]
+	}
+	p := xferParams{cfg.Client, cfg.Rel, cfg.Origin, cfg.Attempt, cfg.Poll}
+	received, err := streamBlobs(p, tr, deadline, retransmits, corrupt, dups)
+	if err != nil {
+		return KeyResult{}, err
+	}
+	for _, seg := range received {
+		member := segMember[seg.ID]
+		if err := cfg.Import(member, []index.Segment{seg}); err != nil {
+			return KeyResult{}, fmt.Errorf("migrate: key graft into member %d: %w", member, err)
+		}
+		res.PerMember[member] += len(seg.Tuples)
+		res.Tuples += len(seg.Tuples)
+	}
+
+	// Phase 4: wait out probes that predate the grafts, then remove the
+	// exported set from the donor.
+	res.CutoverBarrier = cfg.Cursor()
+	for {
+		peer := cfg.Donor()
+		if peer == nil {
+			return KeyResult{}, fmt.Errorf("migrate: key donor %s-%d disappeared during cut-over", cfg.Rel, cfg.Origin)
+		}
+		if peer.Frontier() >= res.CutoverBarrier {
+			break
+		}
+		if time.Now().After(deadline) {
+			return KeyResult{}, fmt.Errorf("migrate: key donor %s-%d did not pass the cut-over barrier (frontier %d < %d)",
+				cfg.Rel, cfg.Origin, peer.Frontier(), res.CutoverBarrier)
+		}
+		time.Sleep(cfg.Poll)
+	}
+	dropped, err := cfg.Drop(seqs)
+	if err != nil {
+		return KeyResult{}, fmt.Errorf("migrate: key drop at donor %s-%d: %w", cfg.Rel, cfg.Origin, err)
+	}
+	res.Dropped = dropped
+	res.Retransmits = retransmits.Value()
+	reg.Counter(prefix + "tuples_moved").Add(int64(res.Tuples))
+	reg.Counter(prefix + "completed").Inc()
+	return res, nil
+}
+
+// waitKeyDrained polls the donor until its frontier passes the flip
+// barrier and the atomic key export succeeds.
+func waitKeyDrained(cfg KeyConfig, deadline time.Time) ([]*tuple.Tuple, error) {
+	for {
+		peer := cfg.Donor()
+		if peer == nil {
+			return nil, fmt.Errorf("migrate: key donor %s-%d disappeared during drain", cfg.Rel, cfg.Origin)
+		}
+		tuples, err := peer.ExportKeyIfDrained(cfg.KeyHash, cfg.DrainBarrier)
+		if err == nil {
+			return tuples, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("migrate: key donor %s-%d did not drain past barrier %d (frontier %d): %w",
+				cfg.Rel, cfg.Origin, cfg.DrainBarrier, peer.Frontier(), err)
+		}
+		time.Sleep(cfg.Poll)
+	}
+}

@@ -176,7 +176,8 @@ func Run(cfg Config) (Result, error) {
 	tr := buildTransfer(snap, cfg.Origin)
 	res := Result{PerMember: make(map[int32]int)}
 	if len(tr.segs) > 0 {
-		received, err := streamBlobs(cfg, tr, deadline, retransmits, corrupt, dups)
+		p := xferParams{cfg.Client, cfg.Rel, cfg.Origin, cfg.Attempt, cfg.Poll}
+		received, err := streamBlobs(p, tr, deadline, retransmits, corrupt, dups)
 		if err != nil {
 			return Result{}, err
 		}
@@ -282,25 +283,36 @@ func bounds(ts []*tuple.Tuple) (int64, int64) {
 	return minTS, maxTS
 }
 
+// xferParams is the slice of a migration config the blob transfer
+// needs; whole-member (Run) and key-scoped (RunKey) migrations both
+// stream through it.
+type xferParams struct {
+	client  broker.Client
+	rel     tuple.Relation
+	origin  int32
+	attempt uint64
+	poll    time.Duration
+}
+
 // streamBlobs pushes the transfer through the broker and consumes it
 // back, retransmitting until every blob arrived intact. The queue and
 // routing key are attempt-qualified, so frames from an abandoned
 // attempt can never complete a newer one.
-func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
+func streamBlobs(p xferParams, tr *transfer, deadline time.Time,
 	retransmits, corrupt, dups *metrics.Counter) ([]index.Segment, error) {
-	queue := topo.MigrateQueue(cfg.Rel, cfg.Origin, cfg.Attempt)
-	key := topo.MigrateKey(cfg.Rel, cfg.Origin, cfg.Attempt)
-	if err := topo.Declare(cfg.Client); err != nil {
+	queue := topo.MigrateQueue(p.rel, p.origin, p.attempt)
+	key := topo.MigrateKey(p.rel, p.origin, p.attempt)
+	if err := topo.Declare(p.client); err != nil {
 		return nil, err
 	}
-	if err := cfg.Client.DeclareQueue(queue, broker.QueueOptions{Durable: true}); err != nil {
+	if err := p.client.DeclareQueue(queue, broker.QueueOptions{Durable: true}); err != nil {
 		return nil, err
 	}
-	if err := cfg.Client.Bind(queue, topo.MigrateExchange, key); err != nil {
+	if err := p.client.Bind(queue, topo.MigrateExchange, key); err != nil {
 		return nil, err
 	}
-	defer func() { _ = cfg.Client.DeleteQueue(queue) }()
-	cons, err := cfg.Client.Consume(queue, 4096, true)
+	defer func() { _ = p.client.DeleteQueue(queue) }()
+	cons, err := p.client.Consume(queue, 4096, true)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +321,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 	publish := func(body []byte) {
 		// A failed publish (fault injection, partition) is not an error:
 		// the retransmit loop repairs any gap.
-		_ = cfg.Client.Publish(topo.MigrateExchange, key, nil, body)
+		_ = p.client.Publish(topo.MigrateExchange, key, nil, body)
 	}
 	sendAll := func(only map[uint64]bool) {
 		for id, blob := range tr.blobs {
@@ -318,7 +330,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 			}
 			publish(append([]byte{frameSegment}, blob...))
 		}
-		publish(append([]byte{frameManifest}, encodeManifest(cfg, tr)...))
+		publish(append([]byte{frameManifest}, encodeManifest(p, tr)...))
 	}
 	sendAll(nil)
 
@@ -343,7 +355,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 					break
 				}
 				want, ok := tr.crcs[seg.ID]
-				if !ok || want != checkpoint.BlobCRC(d.Body[1:]) || seg.Origin != cfg.Origin {
+				if !ok || want != checkpoint.BlobCRC(d.Body[1:]) || seg.Origin != p.origin {
 					corrupt.Inc()
 					break
 				}
@@ -353,7 +365,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 				}
 				got[seg.ID] = seg
 			case frameManifest:
-				if err := checkManifest(cfg, tr, d.Body[1:]); err != nil {
+				if err := checkManifest(p, tr, d.Body[1:]); err != nil {
 					corrupt.Inc()
 					break
 				}
@@ -361,7 +373,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 			default:
 				corrupt.Inc()
 			}
-		case <-time.After(cfg.Poll):
+		case <-time.After(p.poll):
 			quiet = true
 		}
 		if manifestSeen && len(got) == len(tr.segs) {
@@ -374,7 +386,7 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 		if quiet {
 			if time.Now().After(deadline) {
 				return nil, fmt.Errorf("migrate: transfer of %s-%d incomplete (%d/%d blobs, manifest=%v)",
-					cfg.Rel, cfg.Origin, len(got), len(tr.segs), manifestSeen)
+					p.rel, p.origin, len(got), len(tr.segs), manifestSeen)
 			}
 			// Republish whatever has not arrived yet.
 			missing := make(map[uint64]bool)
@@ -393,12 +405,12 @@ func streamBlobs(cfg Config, tr *transfer, deadline time.Time,
 //
 //	"BMG1" | origin u32 | rel byte | attempt u64 |
 //	uvarint n | n × (id u64 | crc u32 | len u32) | crc u32
-func encodeManifest(cfg Config, tr *transfer) []byte {
+func encodeManifest(p xferParams, tr *transfer) []byte {
 	buf := make([]byte, 0, 32+len(tr.segs)*16)
 	buf = append(buf, manifestMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(cfg.Origin))
-	buf = append(buf, byte(cfg.Rel))
-	buf = binary.LittleEndian.AppendUint64(buf, cfg.Attempt)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.origin))
+	buf = append(buf, byte(p.rel))
+	buf = binary.LittleEndian.AppendUint64(buf, p.attempt)
 	buf = binary.AppendUvarint(buf, uint64(len(tr.segs)))
 	for _, s := range tr.segs {
 		buf = binary.LittleEndian.AppendUint64(buf, s.ID)
@@ -410,7 +422,7 @@ func encodeManifest(cfg Config, tr *transfer) []byte {
 
 // checkManifest validates a received manifest frame against the locally
 // known transfer.
-func checkManifest(cfg Config, tr *transfer, blob []byte) error {
+func checkManifest(p xferParams, tr *transfer, blob []byte) error {
 	if len(blob) < len(manifestMagic)+4 {
 		return fmt.Errorf("migrate: short manifest")
 	}
@@ -428,9 +440,9 @@ func checkManifest(cfg Config, tr *transfer, blob []byte) error {
 	origin := int32(binary.LittleEndian.Uint32(b))
 	rel := tuple.Relation(b[4])
 	attempt := binary.LittleEndian.Uint64(b[5:13])
-	if origin != cfg.Origin || rel != cfg.Rel || attempt != cfg.Attempt {
+	if origin != p.origin || rel != p.rel || attempt != p.attempt {
 		return fmt.Errorf("migrate: manifest for %s-%d attempt %d, want %s-%d attempt %d",
-			rel, origin, attempt, cfg.Rel, cfg.Origin, cfg.Attempt)
+			rel, origin, attempt, p.rel, p.origin, p.attempt)
 	}
 	b = b[13:]
 	n, sz := binary.Uvarint(b)

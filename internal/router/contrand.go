@@ -39,6 +39,26 @@ type HotTracker struct {
 
 	hot     map[uint64]struct{} // promoted keys
 	demoted map[uint64]int64    // key -> demotion event-time (drain until +W)
+	pinned  map[uint64]bool     // operator-pinned placement, exempt from review
+
+	promotions int64
+	demotions  int64
+	// events receives promotion/demotion notifications for the
+	// adaptation controller. Sends are non-blocking — a full channel
+	// drops the event, and the controller's periodic reconcile against
+	// HotKeys repairs any gap — so the routing hot path never stalls on
+	// a slow consumer.
+	events chan HotEvent
+}
+
+// HotEvent is one placement transition: a key crossed the promotion
+// threshold (Promoted true) or cooled below the demotion threshold
+// (Promoted false). TS is the event-time of the observation that
+// triggered it.
+type HotEvent struct {
+	KeyHash  uint64
+	Promoted bool
+	TS       int64
 }
 
 // HotConfig configures a HotTracker.
@@ -81,7 +101,89 @@ func NewHotTracker(cfg HotConfig) (*HotTracker, error) {
 		slackMS:    1000,
 		hot:        make(map[uint64]struct{}),
 		demoted:    make(map[uint64]int64),
+		pinned:     make(map[uint64]bool),
 	}, nil
+}
+
+// Watch returns the tracker's event channel, creating it with the
+// given buffer on first call (subsequent calls return the same
+// channel). Events are dropped, never blocked on, when the buffer is
+// full; consumers reconcile against HotKeys periodically.
+func (h *HotTracker) Watch(buf int) <-chan HotEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.events == nil {
+		if buf < 1 {
+			buf = 64
+		}
+		h.events = make(chan HotEvent, buf)
+	}
+	return h.events
+}
+
+// notifyLocked records a transition and offers it to the watcher.
+// Called with h.mu held.
+func (h *HotTracker) notifyLocked(keyHash uint64, promoted bool, nowTS int64) {
+	if promoted {
+		h.promotions++
+	} else {
+		h.demotions++
+	}
+	if h.events == nil {
+		return
+	}
+	select {
+	case h.events <- HotEvent{KeyHash: keyHash, Promoted: promoted, TS: nowTS}:
+	default:
+	}
+}
+
+// Counts reports the cumulative promotion and demotion transitions.
+func (h *HotTracker) Counts() (promotions, demotions int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.promotions, h.demotions
+}
+
+// Pin forces a key's placement: hot pins scattered-store/broadcast-
+// probe, cold pins plain hash routing. Pinned keys are exempt from
+// promotion, demotion and review until Unpin — the operator override
+// for keys the sketch misjudges (or for pre-warming a key known to
+// spike). Pinning emits no events and triggers no migration.
+func (h *HotTracker) Pin(keyHash uint64, hot bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pinned[keyHash] = hot
+	delete(h.hot, keyHash)
+	delete(h.demoted, keyHash)
+}
+
+// Unpin removes a manual pin. A previously pinned-hot key re-enters
+// the demotion drain so tuples stored under the pinned regime stay
+// reachable for a full window before hash routing resumes; the drain
+// is announced as a demotion so the adaptation controller forgets the
+// key's migration episode.
+func (h *HotTracker) Unpin(keyHash uint64, nowTS int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wasHot := h.pinned[keyHash]
+	delete(h.pinned, keyHash)
+	if wasHot {
+		h.demoted[keyHash] = nowTS
+		h.notifyLocked(keyHash, false, nowTS)
+	}
+}
+
+// PinnedKeys returns the pinned key hashes and their pinned placement
+// (diagnostics).
+func (h *HotTracker) PinnedKeys() map[uint64]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[uint64]bool, len(h.pinned))
+	for k, v := range h.pinned {
+		out[k] = v
+	}
+	return out
 }
 
 // Observe records one occurrence of the key hash and updates its
@@ -97,6 +199,9 @@ func (h *HotTracker) Observe(keyHash uint64, nowTS int64) (storeHot, joinHot boo
 		h.sinceDecay = 0
 		h.reviewLocked(nowTS)
 	}
+	if p, ok := h.pinned[keyHash]; ok {
+		return p, p
+	}
 	total := h.cm.Total()
 	_, isHot := h.hot[keyHash]
 	if total >= h.minSamples {
@@ -106,10 +211,12 @@ func (h *HotTracker) Observe(keyHash uint64, nowTS int64) (storeHot, joinHot boo
 			h.hot[keyHash] = struct{}{}
 			delete(h.demoted, keyHash) // re-promoted while draining
 			isHot = true
+			h.notifyLocked(keyHash, true, nowTS)
 		case isHot && share < h.coldFrac:
 			delete(h.hot, keyHash)
 			h.demoted[keyHash] = nowTS
 			isHot = false
+			h.notifyLocked(keyHash, false, nowTS)
 		}
 	}
 	if isHot {
@@ -137,6 +244,7 @@ func (h *HotTracker) reviewLocked(nowTS int64) {
 			if float64(h.cm.Estimate(k))/float64(total) < h.coldFrac {
 				delete(h.hot, k)
 				h.demoted[k] = nowTS
+				h.notifyLocked(k, false, nowTS)
 			}
 		}
 	}
@@ -155,6 +263,9 @@ func (h *HotTracker) reviewLocked(nowTS int64) {
 func (h *HotTracker) Status(keyHash uint64, nowTS int64) (storeHot, joinHot bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if p, ok := h.pinned[keyHash]; ok {
+		return p, p
+	}
 	if _, isHot := h.hot[keyHash]; isHot {
 		return true, true
 	}

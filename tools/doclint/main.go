@@ -3,10 +3,10 @@
 //   - every package under internal/ must carry a package doc comment
 //     (the one-paragraph "why does this package exist" statement that
 //     `go doc` prints first), and
-//   - the packages listed in strictPkgs — the state-durability and
-//     migration surface, where an undocumented exported symbol is an
-//     operational hazard — must document every exported top-level
-//     declaration.
+//   - the packages listed in strictPkgs — the state-durability,
+//     migration, and routing/skew surface, where an undocumented
+//     exported symbol is an operational hazard — must document every
+//     exported top-level declaration.
 //
 // It is a plain go/parser + go/ast walk with no dependencies, wired
 // into `make check` so CI fails on documentation regressions the same
@@ -33,6 +33,8 @@ var strictPkgs = map[string]bool{
 	"internal/checkpoint": true,
 	"internal/core":       true,
 	"internal/migrate":    true,
+	"internal/router":     true,
+	"internal/sketch":     true,
 }
 
 func main() {
